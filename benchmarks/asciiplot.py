@@ -1,0 +1,87 @@
+"""Tiny ASCII line-chart renderer for the figure benchmarks.
+
+Renders multiple named series against a shared x axis so the *shape*
+of each reproduced figure (orderings, crossovers, walls) is reviewable
+at a glance inside ``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["render_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_chart(
+    x_labels: Sequence[object],
+    series: dict[str, Sequence[Optional[float]]],
+    *,
+    height: int = 14,
+    width: Optional[int] = None,
+    title: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render series as an ASCII chart.
+
+    ``None`` values (e.g. OOM points) are skipped.  Columns are spread
+    evenly; collisions between series show the later glyph.
+    """
+    n = len(x_labels)
+    if any(len(v) != n for v in series.values()):
+        raise ValueError("every series must match the x axis length")
+    width = width or max(48, 6 * n)
+    vals = [v for s in series.values() for v in s if v is not None]
+    if not vals:
+        return "(no data)"
+    if log_y and min(vals) <= 0:
+        log_y = False
+
+    def t(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    lo, hi = min(t(v) for v in vals), max(t(v) for v in vals)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xcols = [round(i * (width - 1) / max(n - 1, 1)) for i in range(n)]
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for i, y in enumerate(ys):
+            if y is None:
+                continue
+            row = height - 1 - round((t(y) - lo) / span * (height - 1))
+            grid[row][xcols[i]] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** hi if log_y else hi):.3g}"
+    bot = f"{(10 ** lo if log_y else lo):.3g}"
+    margin = max(len(top), len(bot), len(y_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top
+        elif r == height - 1:
+            label = bot
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + "-" + "-" * width)
+    # X labels: first, middle, last.
+    xl = [str(x_labels[0]), str(x_labels[n // 2]), str(x_labels[-1])]
+    axis = [" "] * (width + 2)
+    positions = [xcols[0], xcols[n // 2], xcols[-1]]
+    for pos, lab in zip(positions, xl):
+        start = min(max(0, pos - len(lab) // 2), width + 1 - len(lab))
+        for i, ch in enumerate(lab):
+            axis[start + i] = ch
+    lines.append(" " * margin + "".join(axis))
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * margin + legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Ablation: behaviour under stragglers (the paper's §3.3 motivation).
+
+"If some network links are slower due to network contention or if
+there are straggler processes then its impact propagates to all the
+processes" - the stated reason the library broadcast is replaced by
+the asynchronous ring.  This ablation injects a slow NIC on one node
+and measures every communication variant, clean vs perturbed.
+"""
+
+from __future__ import annotations
+
+from common import B_VIRT, hollow_apsp, write_table
+
+NODES = 16
+RPN = 8
+NB = 32
+SLOW = {5: 4.0}  # one node's NIC 4x slower
+VARIANTS = ("baseline", "pipelined", "reordering", "async")
+
+
+def run_sweep():
+    table = {}
+    for v in VARIANTS:
+        table[(v, "clean")] = hollow_apsp(v, NB, NODES, RPN)
+        table[(v, "straggler")] = hollow_apsp(v, NB, NODES, RPN, stragglers=SLOW)
+    return table
+
+
+def test_ablation_stragglers(benchmark):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for v in VARIANTS:
+        clean = table[(v, "clean")].elapsed
+        slow = table[(v, "straggler")].elapsed
+        rows.append([v, f"{clean:.3f}", f"{slow:.3f}", f"{slow / clean:.2f}x"])
+    write_table(
+        "ablation_stragglers",
+        f"Ablation (§3.3): one node's NIC 4x slower "
+        f"(n={int(NB * B_VIRT):,}, {NODES} nodes x {RPN} ranks)",
+        ["variant", "clean (s)", "straggler (s)", "slowdown"],
+        rows,
+    )
+
+    t = {(v, c): table[(v, c)].elapsed for v in VARIANTS for c in ("clean", "straggler")}
+    # Everybody pays something.
+    for v in VARIANTS:
+        assert t[(v, "straggler")] > t[(v, "clean")]
+    # The fully optimized variant stays the fastest under perturbation.
+    for v in ("baseline", "pipelined", "reordering"):
+        assert t[("async", "straggler")] < t[(v, "straggler")]
+    # And its advantage over the baseline survives the straggler.
+    assert t[("baseline", "straggler")] > 1.4 * t[("async", "straggler")]

@@ -1,0 +1,54 @@
+"""Figure 1: optimal rank placement for K = 4 nodes, Q = 6 ranks/node.
+
+The paper's diagram shows 24 MPI processes on 4 nodes with a 2x3
+coordinate tile per node - the minimal-internode-communication
+placement.  This benchmark regenerates the diagram and verifies, with
+the §3.4.1 volume model, that the 2x3 tile is the optimum among all
+placements of 24 ranks on 4 nodes.
+"""
+
+from __future__ import annotations
+
+from common import write_table
+
+from repro.core import ProcessGrid, enumerate_placements, tiled_placement
+from repro.machine import SUMMIT, CostModel
+from repro.perfmodel import refined_comm_cost
+
+
+def test_fig1_optimal_placement(benchmark):
+    cost = CostModel(SUMMIT)
+    n = 196_608  # the Fig. 3 problem size
+
+    def sweep():
+        rows = []
+        for p in enumerate_placements(24, 6):
+            t = refined_comm_cost(cost, n, p.grid.pr, p.grid.pc, p.qr, p.qc)
+            rows.append((t, p))
+        # Volume first (Eq. 2); ties broken by the latency criterion
+        # P_r ≈ P_c (Eq. 3), exactly the paper's two-step argument.
+        rows.sort(key=lambda x: (x[0], abs(x[1].grid.pr - x[1].grid.pc)))
+        return rows
+
+    rows = benchmark(sweep)
+
+    table = [
+        [p.describe(), f"{t * 1e3:.1f} ms", f"{p.kr}x{p.kc}"] for t, p in rows
+    ]
+    write_table(
+        "fig1_placement",
+        "Figure 1: placements of 24 ranks on 4 nodes, ranked by modeled "
+        "per-sweep communication time (n=196,608)",
+        ["placement", "T_comm (model)", "node grid"],
+        table,
+    )
+
+    best = rows[0][1]
+    # The paper's diagram: P=4x6, Q=2x3, K=2x2.
+    assert (best.kr, best.kc) == (2, 2)
+    assert {(best.qr, best.qc), (best.qc, best.qr)} & {(2, 3), (3, 2)}
+
+    diagram = tiled_placement(ProcessGrid(4, 6), 2, 3).ascii_diagram()
+    print("\nFigure 1 placement diagram (node id per grid coordinate):")
+    print(diagram)
+    assert diagram.splitlines()[0].split() == ["0", "0", "0", "1", "1", "1"]

@@ -1,0 +1,100 @@
+"""Figure 3: effect of rank reordering.
+
+The paper sweeps every (P_r, P_c, K_r, K_c) combination on node counts
+2^0..2^6 for n = 196,608 and plots the achieved effective bandwidth
+per node, observing: (a) for a given node count, the best bandwidth
+is always at K_r ≈ K_c, (b) lopsided node grids perform worst, and
+(c) the single-node case exceeds the NIC line because its traffic is
+intranode.
+
+This benchmark replays the sweep on the simulator (hollow mode, the
+tuned pipelined+ring code) at node counts 1..16 with Q = 8 ranks/node
+in a communication-bound configuration, and checks the same shape.
+"""
+
+from __future__ import annotations
+
+
+from common import B_VIRT, hollow_apsp, write_table
+
+from repro.core import enumerate_placements
+
+#: Virtual n = 24 * 768 = 18,432: communication-bound on these node
+#: counts, playing the role of the paper's 196,608 on its counts.
+NB = 24
+RANKS_PER_NODE = 8
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def k_ratio(p) -> float:
+    return max(p.kr, p.kc) / min(p.kr, p.kc)
+
+
+def run_sweep():
+    results = {}
+    for nodes in NODE_COUNTS:
+        for p in enumerate_placements(nodes * RANKS_PER_NODE, RANKS_PER_NODE):
+            # Keep the sweep tractable: skip grids more lopsided than
+            # the paper plots (ratio > 16).
+            if max(p.grid.pr, p.grid.pc) > 16 * min(p.grid.pr, p.grid.pc):
+                continue
+            rep = hollow_apsp("async", NB, nodes, RANKS_PER_NODE, placement=p)
+            results.setdefault(nodes, []).append(
+                (rep.effective_bandwidth() / 1e9, p)
+            )
+        results[nodes].sort(reverse=True, key=lambda t: t[0])
+    return results
+
+
+def test_fig3_rank_reordering(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for nodes in NODE_COUNTS:
+        for bw, p in results[nodes]:
+            rows.append([nodes, p.describe(), f"{bw:.2f}", f"{k_ratio(p):.0f}"])
+    write_table(
+        "fig3_rank_reordering",
+        f"Figure 3: effective bandwidth (GB/s/node) by placement, "
+        f"n={int(NB * B_VIRT):,}, Q={RANKS_PER_NODE} ranks/node "
+        "(paper: best always at K_r≈K_c; lopsided node grids worst; "
+        "single node above the NIC line)",
+        ["nodes", "placement", "GB/s/node", "K ratio"],
+        rows,
+    )
+
+    for nodes in NODE_COUNTS[1:]:
+        ranked = results[nodes]
+        best_bw, best_p = ranked[0]
+        worst_bw, _worst_p = ranked[-1]
+        # (a) the winning placement's node grid is as square as this
+        # node count allows (within 2x).
+        min_ratio = min(k_ratio(p) for _, p in ranked)
+        assert k_ratio(best_p) <= 2 * min_ratio, (nodes, best_p.describe())
+        if nodes >= 4:
+            # (b) placement matters: a material best-to-worst spread.
+            assert worst_bw < 0.95 * best_bw
+            # (c) within the near-square process grid (the one a tuned
+            # run uses), the squarest node grid beats the most
+            # lopsided one - the paper's "best at K_r ≈ K_c / worst
+            # when far off" observation, controlled for P shape.
+            grids = {}
+            for bw, p in ranked:
+                grids.setdefault((p.grid.pr, p.grid.pc), []).append((bw, p))
+            near_square = min(grids, key=lambda g: abs(g[0] - g[1]))
+            members = grids[near_square]
+            sq = min(members, key=lambda t: k_ratio(t[1]))
+            lop = max(members, key=lambda t: k_ratio(t[1]))
+            if k_ratio(lop[1]) > 2 * k_ratio(sq[1]):
+                assert sq[0] > lop[0], (nodes, near_square)
+
+    # (c) the mechanism behind the paper's single-node observation
+    # ("best effective bandwidth higher than the 25 GB/s NIC line
+    # since all communication is within a single node"): our
+    # single-node run indeed never touches a NIC.  The *absolute*
+    # single-node bandwidth does not exceed the NIC line at
+    # reproduction scale because the run is GPU-bound, not
+    # communication-bound - recorded as a deviation in EXPERIMENTS.md.
+    single = hollow_apsp("async", NB, 1, RANKS_PER_NODE)
+    assert single.internode_bytes == 0.0
+    assert single.intranode_bytes > 0.0

@@ -1,0 +1,52 @@
+"""Figure 6: ooGSrGemm performance vs operand size and buffer size.
+
+The paper's heatmap (vertices 4k..64k x buffer mx 1k..8k, block 768)
+shows: performance grows with the operand size; a 2k x 2k buffer is
+already near-peak when n is large; and an oversized buffer *hurts*
+small problems (too few tiles to overlap the three pipeline stages).
+"""
+
+from __future__ import annotations
+
+from bench_fig5_oog_blocksize import oog_rate
+from common import write_table
+
+BLOCK = 768
+VERTICES = (4096, 8192, 16384, 32768, 65536)
+BUFFERS = (1024, 2048, 4096, 8192)
+
+
+def run_sweep():
+    return {
+        (n, mx): oog_rate(n, BLOCK, mx) for n in VERTICES for mx in BUFFERS
+    }
+
+
+def test_fig6_oog_buffer(benchmark):
+    rates = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"{n:,}"] + [f"{rates[(n, mx)]:.0f}" for mx in BUFFERS] for n in VERTICES
+    ]
+    write_table(
+        "fig6_oog_buffer",
+        f"Figure 6: ooGSrGemm GFLOP/s, vertices x GPU buffer dimension "
+        f"(block {BLOCK}; paper: near-peak at 2k buffers for large n, "
+        "degradation for small n with big buffers)",
+        ["vertices"] + [f"mx={mx}" for mx in BUFFERS],
+        rows,
+    )
+
+    # Performance grows with operand size at every buffer size.
+    for mx in BUFFERS:
+        assert rates[(65536, mx)] > rates[(4096, mx)]
+
+    # For the largest n, a 2k buffer is already near-peak.
+    assert rates[(65536, 2048)] > 0.9 * 6800
+
+    # Small n + oversized buffer is the worst corner (paper's bottom
+    # right), markedly below small n + right-sized buffer.
+    assert rates[(4096, 8192)] < 0.8 * rates[(4096, 1024)]
+
+    # The top row (large n) is much faster than the bottom-right corner.
+    assert rates[(65536, 2048)] > 1.5 * rates[(4096, 8192)]

@@ -1,0 +1,115 @@
+"""Figure 7: end-to-end performance vs problem size, with the GPU
+memory wall.
+
+The paper sweeps 16k -> 1.66M vertices on 64 nodes: the optimized
+variants win in the bandwidth-bound region and converge once compute
+bound; every in-GPU variant stops at the "Beyond GPU Memory" wall
+(524k there), while the offload variant continues to 1.66M vertices at
+~50% of peak - 2.5x beyond the others' capacity with modest overhead.
+
+Replayed on 16 nodes x 8 ranks.  The wall position scales with HBM
+capacity, so the benchmark uses a reduced-HBM machine to place the
+wall inside a tractable sweep; the *shape* - a wall for in-GPU
+variants, offload sailing past it at a modest discount - is the
+reproduced claim.
+"""
+
+from __future__ import annotations
+
+from asciiplot import render_chart
+from common import B_VIRT, hollow_apsp, write_table
+
+from repro.errors import GpuOutOfMemory
+from repro.machine import SUMMIT, scaled_down
+
+NODES = 16
+RPN = 8
+VARIANTS = ("baseline", "pipelined", "async", "offload")
+NBS = (16, 24, 32, 48, 64, 96, 128)
+#: HBM shrunk so the in-GPU wall falls around nb ~ 116 (n ~ 89k).
+MACHINE = scaled_down(SUMMIT, hbm_bytes=256 * 1024**2, name="summit-256MiB-hbm")
+
+
+def run_sweep():
+    table = {}
+    for nb in NBS:
+        for v in VARIANTS:
+            kw = dict(machine=MACHINE)
+            if v == "offload":
+                kw.update(mx_blocks=3, nx_blocks=3)
+            try:
+                table[(nb, v)] = hollow_apsp(v, nb, NODES, RPN, **kw)
+            except GpuOutOfMemory:
+                table[(nb, v)] = None
+    return table
+
+
+def test_fig7_vertex_sweep(benchmark):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for nb in NBS:
+        row = [f"{int(nb * B_VIRT):,}"]
+        for v in VARIANTS:
+            rep = table[(nb, v)]
+            row.append("OOM" if rep is None else f"{rep.petaflops:.4f}")
+        rows.append(row)
+    chart = render_chart(
+        [f"{int(nb * B_VIRT) // 1000}k" for nb in NBS],
+        {v: [None if table[(nb, v)] is None else table[(nb, v)].petaflops
+             for nb in NBS] for v in VARIANTS},
+        title="PFLOP/s vs vertices (missing points = Beyond GPU Memory)",
+        y_label="PF/s",
+        log_y=True,
+    )
+    write_table(
+        "fig7_vertex_sweep",
+        f"Figure 7: performance (PFLOP/s) vs vertices, {NODES} nodes x "
+        f"{RPN} ranks, HBM reduced to 256 MiB/GPU to place the wall in "
+        "range (paper: in-GPU variants hit 'Beyond GPU Memory'; offload "
+        "continues ~2.5x further at a modest discount)",
+        ["vertices"] + list(VARIANTS),
+        rows,
+        chart=chart,
+    )
+
+    def pf(nb, v):
+        rep = table[(nb, v)]
+        return None if rep is None else rep.petaflops
+
+    # The wall: some suffix of the sweep is OOM for every in-GPU
+    # variant but fine for offload.
+    wall_nbs = [nb for nb in NBS if table[(nb, "async")] is None]
+    assert wall_nbs, "expected the in-GPU variants to hit the memory wall"
+    for nb in wall_nbs:
+        for v in ("baseline", "pipelined"):
+            assert table[(nb, v)] is None
+        assert table[(nb, "offload")] is not None
+
+    # Offload capacity is >= 1.3x the in-GPU capacity in this sweep
+    # (the paper reports 2.5x on Summit; the exact factor depends on
+    # where host DRAM runs out, which this sweep does not reach).
+    largest_ingpu = max(nb for nb in NBS if table[(nb, "async")] is not None)
+    largest_off = max(nb for nb in NBS if table[(nb, "offload")] is not None)
+    assert largest_off >= 1.3 * largest_ingpu
+
+    # Communication-bound region: async wins clearly.
+    assert pf(NBS[0], "async") > 1.3 * pf(NBS[0], "baseline")
+
+    # Offload runs at a modest discount to the in-GPU variant with the
+    # same (bulk-synchronous) schedule - the paper's "20% increase in
+    # overall running time" comparison.  (Its "80% of Co-ParallelFw"
+    # number additionally assumes tuned large offload tiles, which the
+    # reduced-HBM machine of this sweep cannot hold; EXPERIMENTS.md
+    # records the tuned-tile measurement.)
+    assert pf(largest_ingpu, "offload") > 0.7 * pf(largest_ingpu, "baseline")
+
+    # Beyond the wall, offload keeps gaining throughput with size (the
+    # rising tail of Figure 7).
+    beyond = [nb for nb in NBS if table[(nb, "async")] is None]
+    assert pf(beyond[-1], "offload") > pf(largest_ingpu, "offload")
+
+    # Throughput grows with problem size for every variant (the rising
+    # left side of Figure 7).
+    for v in VARIANTS:
+        assert pf(NBS[3], v) > pf(NBS[0], v)

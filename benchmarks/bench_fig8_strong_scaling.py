@@ -1,0 +1,88 @@
+"""Figure 8: strong scaling.
+
+The paper fixes n = 300,000 and scales 16 -> 256 nodes: Co-ParallelFw
+reaches 8.1 PF/s at 256 nodes (~70% of peak, 80% parallel efficiency
+quoted in the abstract for the weak-scaled runs; ~45% strong-scaling
+efficiency in §5.5.1), and its advantage over Baseline grows from
+1.6x at 16 nodes to 4.6x at 256.
+
+Replayed at fixed virtual n with node counts 2 -> 32.
+"""
+
+from __future__ import annotations
+
+from asciiplot import render_chart
+from common import B_VIRT, hollow_apsp, write_table
+
+from repro.machine import SUMMIT
+
+RPN = 8
+NB = 64  # virtual n = 49,152 - strong-scaling stress at these sizes
+NODE_COUNTS = (2, 4, 8, 16, 32)
+VARIANTS = ("baseline", "pipelined", "reordering", "async", "offload")
+
+
+def run_sweep():
+    table = {}
+    for nodes in NODE_COUNTS:
+        for v in VARIANTS:
+            kw = {"mx_blocks": 8, "nx_blocks": 8} if v == "offload" else {}
+            table[(nodes, v)] = hollow_apsp(v, NB, nodes, RPN, **kw)
+    return table
+
+
+def test_fig8_strong_scaling(benchmark):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for nodes in NODE_COUNTS:
+        row = [nodes]
+        for v in VARIANTS:
+            row.append(f"{table[(nodes, v)].petaflops:.4f}")
+        row.append(f"{table[(nodes, 'async')].percent_of_peak(SUMMIT):.1f}%")
+        rows.append(row)
+    chart = render_chart(
+        list(NODE_COUNTS),
+        {v: [table[(nodes, v)].petaflops for nodes in NODE_COUNTS]
+         for v in VARIANTS},
+        title="PFLOP/s vs nodes (strong scaling)",
+        y_label="PF/s",
+    )
+    write_table(
+        "fig8_strong_scaling",
+        f"Figure 8: strong scaling, PFLOP/s at n={int(NB * B_VIRT):,} "
+        f"({RPN} ranks/node).  Paper: Co-ParallelFw 1.6x over Baseline "
+        "at 16 nodes growing to 4.6x at 256; ~45% strong-scaling "
+        "efficiency",
+        ["nodes"] + list(VARIANTS) + ["async %peak"],
+        rows,
+        chart=chart,
+    )
+
+    def t(nodes, v):
+        return table[(nodes, v)].elapsed
+
+    # Async speedup over baseline grows with node count (1.6x -> 4.6x
+    # in the paper).
+    ratios = [t(nodes, "baseline") / t(nodes, "async") for nodes in NODE_COUNTS]
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.5
+
+    # Every variant gets faster with more nodes up to the sweep's end.
+    for v in ("baseline", "pipelined", "async"):
+        assert t(NODE_COUNTS[-1], v) < t(NODE_COUNTS[0], v)
+
+    # Co-ParallelFw keeps a reasonable strong-scaling efficiency over
+    # a 16x node increase (paper: ~45% over 16x).
+    eff = (t(NODE_COUNTS[0], "async") / t(NODE_COUNTS[-1], "async")) / (
+        NODE_COUNTS[-1] / NODE_COUNTS[0]
+    )
+    assert eff > 0.3
+
+    # The ordering at the largest scale matches the paper's figure:
+    # async fastest, baseline and offload slowest.
+    biggest = NODE_COUNTS[-1]
+    assert t(biggest, "async") <= t(biggest, "reordering") * 1.02
+    assert t(biggest, "reordering") <= t(biggest, "pipelined") * 1.02
+    assert t(biggest, "pipelined") < t(biggest, "baseline")
+    assert t(biggest, "offload") > t(biggest, "async")

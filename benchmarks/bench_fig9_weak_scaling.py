@@ -1,0 +1,82 @@
+"""Figure 9: weak scaling.
+
+The paper holds the per-node workload O(n³/p) constant (starting from
+n = 300,000 on 16 nodes) and scales to 256 nodes: Co-ParallelFw's
+runtime stays flat (perfect weak scaling) while Baseline and Offload
+degrade because they do not hide communication - the growing
+communication share shows up directly in their runtimes.
+
+Replayed from nb = 48 block rows on 2 nodes, scaling n as p^(1/3).
+"""
+
+from __future__ import annotations
+
+from asciiplot import render_chart
+from common import B_VIRT, hollow_apsp, write_table
+
+RPN = 8
+NODE_COUNTS = (2, 4, 8, 16, 32)
+VARIANTS = ("baseline", "pipelined", "reordering", "async", "offload")
+NB0 = 48
+
+
+def nb_for(nodes: int) -> int:
+    """Block rows keeping n³/p constant from (NB0, NODE_COUNTS[0])."""
+    return round(NB0 * (nodes / NODE_COUNTS[0]) ** (1.0 / 3.0))
+
+
+def run_sweep():
+    table = {}
+    for nodes in NODE_COUNTS:
+        nb = nb_for(nodes)
+        for v in VARIANTS:
+            kw = {"mx_blocks": 8, "nx_blocks": 8} if v == "offload" else {}
+            table[(nodes, v)] = hollow_apsp(v, nb, nodes, RPN, **kw)
+    return table
+
+
+def test_fig9_weak_scaling(benchmark):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for nodes in NODE_COUNTS:
+        row = [nodes, f"{int(nb_for(nodes) * B_VIRT):,}"]
+        for v in VARIANTS:
+            row.append(f"{table[(nodes, v)].elapsed:.3f}")
+        rows.append(row)
+    chart = render_chart(
+        list(NODE_COUNTS),
+        {v: [table[(nodes, v)].elapsed for nodes in NODE_COUNTS]
+         for v in VARIANTS},
+        title="runtime (s) vs nodes at constant n^3/p (flat = perfect weak scaling)",
+        y_label="sec",
+    )
+    write_table(
+        "fig9_weak_scaling",
+        f"Figure 9: weak scaling, runtime (s) at constant n³/p "
+        f"({RPN} ranks/node).  Paper: Co-ParallelFw flat; Baseline and "
+        "Offload degrade (they do not hide communication)",
+        ["nodes", "vertices"] + list(VARIANTS),
+        rows,
+        chart=chart,
+    )
+
+    def t(nodes, v):
+        return table[(nodes, v)].elapsed
+
+    first, last = NODE_COUNTS[0], NODE_COUNTS[-1]
+
+    # Co-ParallelFw (async) weak-scales well: bounded growth over 16x
+    # more nodes.
+    async_growth = t(last, "async") / t(first, "async")
+    assert async_growth < 1.6
+
+    # Baseline and offload degrade faster than async - the paper's
+    # stated reason: they do not actively hide communication.
+    base_growth = t(last, "baseline") / t(first, "baseline")
+    off_growth = t(last, "offload") / t(first, "offload")
+    assert base_growth > async_growth
+    assert off_growth > async_growth
+
+    # And at the largest scale the gap is material.
+    assert t(last, "baseline") > 1.25 * t(last, "async")

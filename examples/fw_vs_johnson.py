@@ -1,0 +1,114 @@
+"""Floyd-Warshall vs Johnson's algorithm (the paper's §6 trade-off).
+
+Johnson's algorithm (Bellman-Ford reweighting + Dijkstra per source)
+is asymptotically better on sparse graphs - O(mn + n² log n) vs FW's
+O(n³) - but its priority-queue structure "is difficult to parallelize
+for massively threaded architecture", which is why the paper bets on
+FW + GPUs even at moderate sparsity.
+
+This example makes the trade-off concrete:
+
+1. verifies both algorithms agree on random graphs (including negative
+   edges, where Johnson's reweighting earns its keep);
+2. counts operations across densities to find the crossover;
+3. shows the machine-model twist: at the GPU's SrGemm rate, FW's
+   regular structure beats Johnson's scalar ops well below the naive
+   op-count crossover.
+
+Run:  python examples/fw_vs_johnson.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import blocked_fw
+from repro.graphs import (
+    erdos_renyi,
+    estimated_fw_ops,
+    estimated_johnson_ops,
+    johnson,
+)
+from repro.machine import SUMMIT, CostModel
+
+
+def agreement_check() -> None:
+    print("--- correctness: Johnson == Floyd-Warshall ---")
+    for p in (0.1, 0.5, 1.0):
+        w = erdos_renyi(60, p, seed=int(p * 10))
+        a = johnson(w)
+        b = blocked_fw(w, 12)
+        assert np.allclose(a, b, equal_nan=True)
+        print(f"  density {p:.1f}: agree on all {w.shape[0]}^2 pairs")
+    # Negative edges without negative cycles: perturb a non-negative
+    # graph by vertex potentials, w'(u,v) = w(u,v) + phi(u) - phi(v).
+    # Every cycle's weight is unchanged, so no negative cycles appear,
+    # but individual edges go negative - exactly the case Johnson's
+    # reweighting pass exists for.
+    w = erdos_renyi(40, 0.3, seed=3)
+    phi = np.random.default_rng(9).uniform(0, 4, 40)
+    finite = np.isfinite(w) & ~np.eye(40, dtype=bool)
+    w = np.where(finite, w + phi[:, None] - phi[None, :], w)
+    np.fill_diagonal(w, 0.0)
+    assert (w[finite] < 0).any(), "construction should yield negative edges"
+    a = johnson(w)
+    b = blocked_fw(w, 8)
+    assert np.allclose(a, b, equal_nan=True)
+    print("  negative edges: agree (reweighting pass verified)\n")
+
+
+def opcount_crossover() -> None:
+    print("--- op-count crossover (CPU view) ---")
+    n = 100_000
+    print(f"n = {n:,}; FW ops = {estimated_fw_ops(n):.2e}")
+    for avg_degree in (4, 64, 1024, 16384, n // 4):
+        m = avg_degree * n
+        j = estimated_johnson_ops(n, m)
+        winner = "Johnson" if j < estimated_fw_ops(n) else "Floyd-Warshall"
+        print(f"  avg degree {avg_degree:>6,}: Johnson ops = {j:.2e}  -> {winner}")
+    print()
+
+
+def machine_view() -> None:
+    print("--- machine view: GPU SrGemm rate vs scalar rate ---")
+    cost = CostModel(SUMMIT)
+    n = 100_000
+    fw_time = estimated_fw_ops(n) / cost.srgemm_rate(768)
+    print(f"FW at the GPU SrGemm rate ({cost.srgemm_rate(768) / 1e12:.1f} TF/s): "
+          f"{fw_time:.0f} s on one GPU")
+    scalar_rate = 25e9  # generous scalar/irregular rate
+    for avg_degree in (4, 64, 1024):
+        m = avg_degree * n
+        j_time = estimated_johnson_ops(n, m) / scalar_rate
+        winner = "Johnson" if j_time < fw_time else "Floyd-Warshall"
+        print(f"  avg degree {avg_degree:>5,}: Johnson at {scalar_rate / 1e9:.0f} GF/s "
+              f"scalar = {j_time:.0f} s -> {winner}")
+    print("\nThe GPU shifts the crossover far toward sparsity - the paper's")
+    print("argument for dense-FW even on moderately sparse graphs (§6).")
+
+
+def wallclock_sanity() -> None:
+    print("\n--- wall-clock sanity at small n (this machine) ---")
+    for p in (0.05, 0.8):
+        w = erdos_renyi(300, p, seed=1)
+        t0 = time.perf_counter()
+        johnson(w)
+        tj = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        blocked_fw(w, 50)
+        tf = time.perf_counter() - t0
+        print(f"  n=300 density {p:.2f}: Johnson {tj * 1e3:6.1f} ms, "
+              f"blocked FW {tf * 1e3:6.1f} ms")
+
+
+def main() -> None:
+    agreement_check()
+    opcount_crossover()
+    machine_view()
+    wallclock_sanity()
+
+
+if __name__ == "__main__":
+    main()

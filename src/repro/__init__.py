@@ -1,0 +1,44 @@
+"""repro: scalable all-pairs shortest paths for huge graphs on (simulated) multi-GPU clusters.
+
+A from-scratch Python reproduction of Sao et al., "Scalable All-pairs
+Shortest Paths for Huge Graphs on Multi-GPU Clusters" (HPDC '21).
+
+Public API highlights
+---------------------
+- :func:`repro.apsp` - one-call APSP over any variant on a simulated cluster.
+- :mod:`repro.semiring` - tropical algebra + SrGemm kernels.
+- :mod:`repro.core` - blocked / baseline / pipelined / offload Floyd-Warshall.
+- :mod:`repro.machine` - Summit-like machine model.
+- :mod:`repro.perfmodel` - the paper's analytic performance models.
+"""
+
+from .errors import (
+    ConfigurationError,
+    GpuOutOfMemory,
+    NegativeCycleError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "GpuOutOfMemory",
+    "NegativeCycleError",
+    "ReproError",
+    "ValidationError",
+    "__version__",
+]
+
+
+def __getattr__(name):  # lazy imports keep `import repro` light
+    if name in ("apsp", "ApspResult", "Variant"):
+        from . import core
+
+        return getattr(core, name)
+    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis"):
+        import importlib
+
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

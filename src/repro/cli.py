@@ -1,0 +1,180 @@
+"""Command-line interface: ``repro-apsp``.
+
+Run a simulated distributed APSP from the shell::
+
+    repro-apsp solve --n 128 --block 16 --variant async --nodes 4 \
+        --ranks-per-node 4 --validate
+    repro-apsp tune --n 300000 --nodes 64 --ranks-per-node 12
+    repro-apsp variants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+def _add_cluster_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=1, help="number of simulated nodes")
+    p.add_argument(
+        "--ranks-per-node", type=int, default=4, help="MPI ranks per node (paper: 12)"
+    )
+    p.add_argument(
+        "--machine",
+        default="summit",
+        choices=["summit", "frontier-like", "workstation"],
+        help="machine preset (hardware constants)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-apsp",
+        description="Distributed multi-GPU Floyd-Warshall APSP on a simulated cluster "
+        "(reproduction of Sao et al., HPDC '21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run one APSP and report performance")
+    solve.add_argument("--n", type=int, default=128, help="number of vertices")
+    solve.add_argument("--input", type=str, default=None, help=".npz weight matrix (overrides --n)")
+    solve.add_argument("--block", type=int, default=None, help="block size b")
+    solve.add_argument(
+        "--variant",
+        default="async",
+        choices=["baseline", "pipelined", "reordering", "async", "offload"],
+    )
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--density", type=float, default=1.0, help="edge probability")
+    solve.add_argument("--scale", type=float, default=1.0, help="virtual/physical dim scale")
+    solve.add_argument("--validate", action="store_true", help="check against the sequential oracle")
+    solve.add_argument("--trace", action="store_true", help="print a per-category time breakdown")
+    solve.add_argument("--output", type=str, default=None, help="save distances to .npz")
+    solve.add_argument("--paths", action="store_true",
+                       help="track next-hop pointers (distributed path generation)")
+    solve.add_argument("--sparse", action="store_true",
+                       help="exploit block sparsity (skip all-infinite blocks)")
+    _add_cluster_args(solve)
+
+    tune = sub.add_parser("tune", help="model-driven parameter recommendation")
+    tune.add_argument("--n", type=float, required=True, help="virtual vertex count")
+    tune.add_argument("--offload", action="store_true")
+    _add_cluster_args(tune)
+
+    sub.add_parser("variants", help="list solver variants")
+
+    analyze = sub.add_parser("analyze", help="graph analytics on a saved distance matrix")
+    analyze.add_argument("input", type=str, help=".npz produced by solve --output")
+    analyze.add_argument("--top", type=int, default=5, help="how many central vertices to list")
+
+    placement = sub.add_parser("placement", help="show a rank placement diagram (paper Fig. 1)")
+    placement.add_argument("--pr", type=int, required=True)
+    placement.add_argument("--pc", type=int, required=True)
+    placement.add_argument("--qr", type=int, required=True)
+    placement.add_argument("--qc", type=int, required=True)
+
+    return parser
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from .core import apsp
+    from .graphs import erdos_renyi, load_matrix, save_matrix, uniform_random_dense
+    from .machine import MACHINES
+
+    if args.input:
+        w = load_matrix(args.input)
+    elif args.density >= 1.0:
+        w = uniform_random_dense(args.n, seed=args.seed)
+    else:
+        w = erdos_renyi(args.n, args.density, seed=args.seed)
+    result = apsp(
+        w,
+        variant=args.variant,
+        block_size=args.block,
+        n_nodes=args.nodes,
+        ranks_per_node=args.ranks_per_node,
+        machine=MACHINES[args.machine],
+        dim_scale=args.scale,
+        validate=args.validate,
+        trace=args.trace,
+        track_paths=args.paths,
+        exploit_sparsity=args.sparse,
+    )
+    print(result.report.summary())
+    if args.validate:
+        print("validation: OK (matches sequential blocked Floyd-Warshall)")
+    if args.trace and result.tracer is not None:
+        print("\nper-category busy time:")
+        cats = sorted({s.category for s in result.tracer.spans})
+        for c in cats:
+            print(f"  {c:<14s} {result.tracer.total_time(c):.6f} s total across actors")
+    if args.output:
+        save_matrix(args.output, result.dist)
+        print(f"distances written to {args.output}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .machine import MACHINES, CostModel
+    from .perfmodel import min_offload_block_size, tune
+
+    cost = CostModel(MACHINES[args.machine])
+    report = tune(cost, args.n, args.nodes, args.ranks_per_node, offload=args.offload)
+    print(report.summary())
+    if args.offload:
+        print(f"Eq. 5 minimum offload block size: {min_offload_block_size(cost):.0f}")
+    return 0
+
+
+def cmd_variants(_: argparse.Namespace) -> int:
+    from .core.variants import VARIANT_DESCRIPTIONS
+
+    for v, desc in VARIANT_DESCRIPTIONS.items():
+        print(f"{v.value:<12s} {desc}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis import closeness_centrality, summarize
+    from .graphs import load_matrix
+
+    dist = load_matrix(args.input)
+    s = summarize(dist)
+    print(f"vertices:          {s.n}")
+    print(f"reachable pairs:   {s.reachable_pairs} of {s.n * (s.n - 1)}")
+    print(f"strongly connected components: {s.components}")
+    print(f"diameter / radius: {s.diameter:.4g} / {s.radius:.4g}")
+    print(f"mean distance:     {s.average_distance:.4g}")
+    print(f"center vertices:   {list(s.center)[:args.top]}")
+    print(f"periphery:         {list(s.periphery)[:args.top]}")
+    closeness = closeness_centrality(dist)
+    order = np.argsort(closeness)[::-1][: args.top]
+    print("top closeness:     " + ", ".join(f"v{int(v)}={closeness[v]:.4f}" for v in order))
+    return 0
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    from .core import ProcessGrid, tiled_placement
+
+    p = tiled_placement(ProcessGrid(args.pr, args.pc), args.qr, args.qc)
+    print(p.describe())
+    print(p.ascii_diagram())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": cmd_solve,
+        "tune": cmd_tune,
+        "variants": cmd_variants,
+        "placement": cmd_placement,
+        "analyze": cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

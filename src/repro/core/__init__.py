@@ -1,0 +1,67 @@
+"""Distributed Floyd-Warshall variants and the public APSP driver."""
+
+from .baseline import baseline_program
+from .blocked import blocked_fw, blocked_fw_inplace, blocked_fw_paths
+from .context import FwContext, RankState, SolverConfig
+from .distribution import (
+    LocalBlocks,
+    block_slice,
+    collect,
+    distribute,
+    local_matrix_elems,
+    pad_to_blocks,
+)
+from .driver import ApspResult, apsp, default_block_size, placement_for_variant
+from .grid import ProcessGrid, factor_pairs, near_square_factors
+from .offload import offload_gpu_footprint, offload_program
+from .oog_srgemm import OogStats, TileTask, oog_srgemm_plan, run_oog_pipeline
+from .pipelined import pipelined_program
+from .placement import (
+    RankPlacement,
+    contiguous_placement,
+    enumerate_placements,
+    optimal_placement,
+    tiled_placement,
+)
+from .report import PerfReport, min_pernode_volume_bytes
+from .variants import VARIANT_DESCRIPTIONS, Variant, variant_config
+
+__all__ = [
+    "apsp",
+    "ApspResult",
+    "Variant",
+    "variant_config",
+    "VARIANT_DESCRIPTIONS",
+    "SolverConfig",
+    "FwContext",
+    "RankState",
+    "blocked_fw",
+    "blocked_fw_inplace",
+    "blocked_fw_paths",
+    "baseline_program",
+    "pipelined_program",
+    "offload_program",
+    "offload_gpu_footprint",
+    "run_oog_pipeline",
+    "oog_srgemm_plan",
+    "TileTask",
+    "OogStats",
+    "ProcessGrid",
+    "factor_pairs",
+    "near_square_factors",
+    "RankPlacement",
+    "tiled_placement",
+    "contiguous_placement",
+    "optimal_placement",
+    "enumerate_placements",
+    "LocalBlocks",
+    "distribute",
+    "collect",
+    "pad_to_blocks",
+    "block_slice",
+    "local_matrix_elems",
+    "PerfReport",
+    "min_pernode_volume_bytes",
+    "default_block_size",
+    "placement_for_variant",
+]

@@ -1,0 +1,56 @@
+"""The baseline distributed Floyd-Warshall (paper Algorithm 3).
+
+Bulk-synchronous within each outer iteration: DiagUpdate → DiagBcast →
+PanelUpdate → PanelBcast → OuterUpdate, with the process *waiting* for
+its outer-product kernel before starting the next iteration.  No
+communication is overlapped with computation; broadcasts are the
+library-style binomial tree.  This is the strong baseline the paper's
+optimizations are measured against.
+"""
+
+from __future__ import annotations
+
+from .context import (
+    RankState,
+    diag_bcast,
+    diag_update,
+    outer_update,
+    panel_bcast,
+    panel_update_col,
+    panel_update_row,
+)
+
+__all__ = ["baseline_program"]
+
+
+def baseline_program(state: RankState):
+    """Generator: Algorithm 3 as executed by one rank."""
+    ctx = state.ctx
+    for k in range(ctx.nb):
+        # --- DiagUpdate(k) + DiagBcast(k) --------------------------------
+        diag = None
+        if state.owns_diag(k):
+            yield diag_update(state, k)
+            diag = state.blocks[(k, k)]
+        if state.in_row(k) or state.in_col(k):
+            diag = yield from diag_bcast(state, k, diag)
+
+        # --- PanelUpdate(k) ------------------------------------------------
+        if state.in_row(k):
+            ev = panel_update_row(state, k, diag)
+            if ev is not None:
+                yield ev
+        if state.in_col(k):
+            ev = panel_update_col(state, k, diag)
+            if ev is not None:
+                yield ev
+
+        # --- PanelBcast(k) ---------------------------------------------------
+        row_panel, col_panel = yield from panel_bcast(state, k)
+
+        # --- OuterUpdate(k), waited for (bulk-synchronous) -----------------
+        ev = outer_update(state, k, row_panel, col_panel)
+        if ev is not None:
+            yield ev
+    yield from state.drain()
+    return state.blocks

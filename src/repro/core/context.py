@@ -1,0 +1,528 @@
+"""Shared solver context and per-rank state for the distributed variants.
+
+A :class:`FwContext` holds everything common to one distributed run
+(simulation environment, cluster, MPI world, grid, placement, cost
+model, configuration); a :class:`RankState` holds one rank's view
+(its communicators, its blocks, its GPU binding).  The actual rank
+*programs* live in :mod:`repro.core.baseline`,
+:mod:`repro.core.pipelined` and :mod:`repro.core.offload`; the
+operation generators here (:func:`diag_update`, :func:`diag_bcast`,
+:func:`panel_update_row` / ``_col``, :func:`panel_bcast`,
+:func:`outer_update`) are the building blocks all of them compose,
+mirroring the paper's kernel decomposition (its §2.5.2 list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.cluster import SimCluster
+from ..machine.cost import CostModel
+from ..machine.gpu import CudaStream, SimGPU
+from ..machine.host import HostCpu
+from ..mpi.collectives import bcast_ring, bcast_ring_segmented, bcast_tree
+from ..mpi.comm import Comm, SimMPI
+from ..semiring.closure import fw_inplace, squaring_steps
+from ..semiring.path_kernels import fw_inplace_paths, srgemm_accumulate_paths
+from ..semiring.kernels import srgemm_accumulate
+from ..semiring.minplus import MIN_PLUS, Semiring
+from ..sim.engine import Environment, Event
+from ..sim.trace import Tracer
+from .distribution import LocalBlocks
+from .grid import ProcessGrid
+from .placement import RankPlacement
+
+__all__ = [
+    "SolverConfig",
+    "FwContext",
+    "RankState",
+    "Op",
+    "diag_update",
+    "diag_bcast",
+    "panel_update_row",
+    "panel_update_col",
+    "panel_bcast",
+    "outer_update",
+]
+
+
+class Op:
+    """Message-tag opcodes; tag = (k << 3) | op."""
+
+    DIAG_ROW = 0
+    DIAG_COL = 1
+    PANEL_ROW = 2  # row-panel blocks, broadcast down column comms
+    PANEL_COL = 3  # column-panel blocks, broadcast across row comms
+
+    @staticmethod
+    def tag(k: int, op: int) -> int:
+        return (k << 3) | op
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Algorithmic knobs of one distributed Floyd-Warshall run."""
+
+    block_size: int
+    semiring: Semiring = MIN_PLUS
+    #: Pipelined (Alg. 4) vs bulk-synchronous (Alg. 3) schedule.
+    pipelined: bool = False
+    #: PanelBcast algorithm: the library-style binomial tree or the
+    #: bandwidth-optimal ring (§3.3).  DiagBcast always uses the tree.
+    panel_bcast: Literal["tree", "ring"] = "tree"
+    #: Ring relay issued asynchronously (isend) - the +Async behaviour.
+    async_relay: bool = True
+    #: Segments for a pipelined ring PanelBcast (1 = the paper's
+    #: unsegmented ring; >1 = the HPL-style extension).
+    ring_segments: int = 1
+    #: DiagUpdate on the GPU via repeated squaring (§4.2) vs on the host.
+    diag_on_gpu: bool = True
+    #: Offload (Me-ParallelFw): distance matrix in host DRAM, outer
+    #: product through ooGSrGemm (§4.3).
+    offload: bool = False
+    #: Number of cudaStreams for the offload pipeline (§4.4).
+    n_streams: int = 3
+    #: GPU tile of the offload pipeline, in *blocks* per dimension
+    #: (mx = mx_blocks * block_size).
+    mx_blocks: int = 2
+    nx_blocks: int = 2
+    #: Skip all-infinite (empty) blocks in panel broadcasts and outer
+    #: products - the structured-sparsity direction of the paper's
+    #: future work (its supernodal APSP citation).  Fill-in is handled
+    #: naturally: emptiness is re-checked every iteration.  Requires
+    #: real numerics (the data decides what is skippable).
+    exploit_sparsity: bool = False
+    #: Carry next-hop pointer blocks through the sweep (distributed
+    #: shortest-path *generation*, the paper's first future-work item).
+    #: (min,+) only; not supported by the offload schedule.
+    track_paths: bool = False
+    #: When False, the simulation runs "hollow": the full event
+    #: structure (kernels, transfers, messages) executes with modeled
+    #: costs but the real NumPy numerics are skipped.  Benchmarks use
+    #: this to sweep paper-scale block counts cheaply; the result
+    #: matrix is then meaningless and must not be collected.
+    compute_numerics: bool = True
+
+    def __post_init__(self):
+        if self.block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
+        if self.n_streams < 1:
+            raise ConfigurationError(f"n_streams must be >= 1, got {self.n_streams}")
+        if self.mx_blocks < 1 or self.nx_blocks < 1:
+            raise ConfigurationError("offload tile must be at least one block")
+        if self.panel_bcast not in ("tree", "ring"):
+            raise ConfigurationError(f"unknown panel_bcast {self.panel_bcast!r}")
+        if self.ring_segments < 1:
+            raise ConfigurationError(f"ring_segments must be >= 1, got {self.ring_segments}")
+        if self.exploit_sparsity:
+            if not self.compute_numerics:
+                raise ConfigurationError(
+                    "exploit_sparsity needs compute_numerics=True (the data "
+                    "determines which blocks are skippable)"
+                )
+            if self.offload:
+                raise ConfigurationError(
+                    "exploit_sparsity is not supported by the offload schedule"
+                )
+        if self.track_paths:
+            if self.semiring is not MIN_PLUS:
+                raise ConfigurationError("track_paths requires the (min,+) semiring")
+            if self.offload:
+                raise ConfigurationError(
+                    "track_paths is not supported by the offload schedule; "
+                    "use next_hop_from_distances on the collected result instead"
+                )
+
+
+class FwContext:
+    """Everything shared by the rank programs of one run."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        mpi: SimMPI,
+        grid: ProcessGrid,
+        placement: RankPlacement,
+        config: SolverConfig,
+        nb: int,
+        tracer: Optional[Tracer] = None,
+    ):
+        if grid.size != mpi.size:
+            raise ConfigurationError("grid size != MPI world size")
+        self.env = env
+        self.cluster = cluster
+        self.mpi = mpi
+        self.grid = grid
+        self.placement = placement
+        self.config = config
+        self.nb = nb
+        self.tracer = tracer
+        self.cost: CostModel = cluster.cost
+        self.world = mpi.world()
+        #: Unlocalized row/column communicators, by grid row/col index.
+        self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]
+        self.col_comms = [Comm(mpi, grid.col_ranks(c), me=None) for c in range(grid.pc)]
+
+    @property
+    def b(self) -> int:
+        return self.config.block_size
+
+    @property
+    def semiring(self) -> Semiring:
+        return self.config.semiring
+
+    def gpu_of(self, rank: int) -> SimGPU:
+        """Bind a rank to a GPU of its node (round-robin over the
+        node's GPUs, so e.g. 12 ranks on a 6-GPU node pair up 2:1 as
+        the paper's runs do)."""
+        node = self.cluster.nodes[self.placement.node_of(rank)]
+        local = self.placement.local_index(rank)
+        return node.gpus[local % len(node.gpus)]
+
+    def host_of(self, rank: int) -> HostCpu:
+        return self.cluster.nodes[self.placement.node_of(rank)].host
+
+
+class RankState:
+    """One rank's working state during a run."""
+
+    def __init__(
+        self,
+        ctx: FwContext,
+        me: int,
+        blocks: LocalBlocks,
+        nxt: Optional[LocalBlocks] = None,
+    ):
+        self.ctx = ctx
+        self.me = me
+        self.row, self.col = ctx.grid.coords(me)
+        self.blocks = blocks
+        #: Next-hop pointer blocks (same keys as ``blocks``) when the
+        #: run tracks paths; None otherwise.
+        self.nxt = nxt
+        self.world = ctx.world.localize(me)
+        self.row_comm = ctx.row_comms[self.row].localize(me)
+        self.col_comm = ctx.col_comms[self.col].localize(me)
+        self.gpu: SimGPU = ctx.gpu_of(me)
+        self.stream: CudaStream = self.gpu.stream(f"r{me}.main")
+        self.host: HostCpu = ctx.host_of(me)
+        #: Outstanding async sends (ring relays) to drain at the end.
+        self.pending: list[Event] = []
+        #: bytes of HBM charged at setup, to release at teardown.
+        self.hbm_charged = 0
+
+    # -- local index helpers ------------------------------------------------
+    def local_rows(self, exclude: tuple[int, ...] = ()) -> list[int]:
+        return [
+            i
+            for i in self.ctx.grid.local_block_rows(self.me, self.ctx.nb)
+            if i not in exclude
+        ]
+
+    def local_cols(self, exclude: tuple[int, ...] = ()) -> list[int]:
+        return [
+            j
+            for j in self.ctx.grid.local_block_cols(self.me, self.ctx.nb)
+            if j not in exclude
+        ]
+
+    def in_row(self, k: int) -> bool:
+        """Am I in process row P_r(k)?"""
+        return self.row == k % self.ctx.grid.pr
+
+    def in_col(self, k: int) -> bool:
+        return self.col == k % self.ctx.grid.pc
+
+    def owns_diag(self, k: int) -> bool:
+        return self.in_row(k) and self.in_col(k)
+
+    def drain(self):
+        """Generator: wait for outstanding async sends."""
+        pending, self.pending = self.pending, []
+        for ev in pending:
+            yield ev
+
+
+# ---------------------------------------------------------------------------
+# Operation building blocks (generators run inside a rank program)
+# ---------------------------------------------------------------------------
+
+
+def maybe(ctx: FwContext, fn):
+    """Return ``fn`` unless the run is hollow (cost-only)."""
+    return fn if ctx.config.compute_numerics else None
+
+
+def _is_empty(ctx: FwContext, blk: np.ndarray) -> bool:
+    """True when a block carries no information (all entries are the
+    semiring ⊕-identity), so products with it are identities and it
+    need not travel or be multiplied."""
+    return bool(np.all(blk == ctx.semiring.zero))
+
+
+def diag_update(state: RankState, k: int) -> Event:
+    """Enqueue DiagUpdate(k) on the owner's GPU (or host) and return
+    the completion event.  Caller must own block (k, k).
+
+    GPU path: ``ceil(log2 b_virtual)`` SrGemm squarings (paper §4.2,
+    Eq. 4) charged as kernel time; the physical computation runs the
+    equivalent in-place Floyd-Warshall closure.
+    """
+    ctx = state.ctx
+    blk = state.blocks[(k, k)]
+
+    if ctx.config.track_paths:
+        nblk = state.nxt[(k, k)]
+
+        def fn():
+            fw_inplace_paths(blk, nblk)
+
+    else:
+
+        def fn():
+            fw_inplace(blk, semiring=ctx.semiring)
+
+    if ctx.config.diag_on_gpu:
+        b_virt = max(2, int(round(ctx.cost.v(ctx.b))))
+        duration = ctx.cost.diag_update_gpu_time(ctx.b, squaring_steps(b_virt))
+        return state.stream.kernel_time(duration, f"DiagUpdate({k})", maybe(ctx, fn))
+    # Host path: a plain process performing the timed host FW.
+    return ctx.env.process(
+        state.host.fw_diag_host(ctx.b, f"DiagUpdate({k})", maybe(ctx, fn)), name=f"r{state.me}.diag{k}"
+    )
+
+
+def diag_bcast(state: RankState, k: int, diag: Optional[np.ndarray]):
+    """Generator: DiagBcast(k) - the owner broadcasts A(k,k) along its
+    process row and its process column (binomial tree; small message on
+    the critical path, §3.3).  Participants must be in P_r(k) or
+    P_c(k); returns the diagonal block.
+    """
+    ctx = state.ctx
+    grid = ctx.grid
+    krow, kcol = k % grid.pr, k % grid.pc
+    if diag is not None and ctx.config.track_paths:
+        # Owner ships (distances, next hops) together; the panel
+        # updates downstream need the diagonal's pointers.
+        diag = (diag, state.nxt[(k, k)])
+    got = diag
+    if state.in_row(k):
+        got = yield from bcast_tree(
+            state.row_comm, root=kcol, payload=got, tag=Op.tag(k, Op.DIAG_ROW)
+        )
+    if state.in_col(k):
+        got_col = yield from bcast_tree(
+            state.col_comm,
+            root=krow,
+            payload=got if state.owns_diag(k) else None,
+            tag=Op.tag(k, Op.DIAG_COL),
+        )
+        if got is None:
+            got = got_col
+    return got
+
+
+def panel_update_row(state: RankState, k: int, diag: np.ndarray) -> Optional[Event]:
+    """Enqueue PanelUpdate of the k-th block row on this rank:
+    ``A(k,j) ← A(k,j) ⊕ A(k,k) ⊗ A(k,j)`` for all local j ≠ k, as one
+    aggregated wide kernel.  Returns the completion event (None if no
+    local blocks)."""
+    ctx = state.ctx
+    cols = state.local_cols(exclude=(k,))
+    if ctx.config.exploit_sparsity:
+        cols = [j for j in cols if not _is_empty(ctx, state.blocks[(k, j)])]
+    if not cols:
+        return None
+    b = ctx.b
+
+    if ctx.config.track_paths:
+        d, d_nxt = diag
+
+        def fn():
+            for j in cols:
+                blk = state.blocks[(k, j)]
+                srgemm_accumulate_paths(blk, state.nxt[(k, j)], d, d_nxt, blk.copy())
+
+    else:
+
+        def fn():
+            for j in cols:
+                blk = state.blocks[(k, j)]
+                srgemm_accumulate(blk, diag, blk.copy(), semiring=ctx.semiring)
+
+    return state.stream.kernel(b, b * len(cols), b, f"PanelUpdateRow({k})", maybe(ctx, fn))
+
+
+def panel_update_col(state: RankState, k: int, diag: np.ndarray) -> Optional[Event]:
+    """Enqueue PanelUpdate of the k-th block column:
+    ``A(i,k) ← A(i,k) ⊕ A(i,k) ⊗ A(k,k)`` for all local i ≠ k."""
+    ctx = state.ctx
+    rows = state.local_rows(exclude=(k,))
+    if ctx.config.exploit_sparsity:
+        rows = [i for i in rows if not _is_empty(ctx, state.blocks[(i, k)])]
+    if not rows:
+        return None
+    b = ctx.b
+
+    if ctx.config.track_paths:
+        d = diag[0]  # right-multiplication: the panel's own hops carry over
+
+        def fn():
+            for i in rows:
+                blk = state.blocks[(i, k)]
+                srgemm_accumulate_paths(
+                    blk, state.nxt[(i, k)], blk.copy(), state.nxt[(i, k)].copy(), d
+                )
+
+    else:
+
+        def fn():
+            for i in rows:
+                blk = state.blocks[(i, k)]
+                srgemm_accumulate(blk, blk.copy(), diag, semiring=ctx.semiring)
+
+    return state.stream.kernel(b * len(rows), b, b, f"PanelUpdateCol({k})", maybe(ctx, fn))
+
+
+def panel_bcast(state: RankState, k: int):
+    """Generator: PanelBcast(k).
+
+    Every rank participates in exactly two broadcasts (the two terms of
+    the paper's Eq. 1 communication cost):
+
+    * its *column* communicator carries the row-panel blocks
+      ``{j ≡ my col : A(k, j)}`` (root: the rank in process row P_r(k));
+    * its *row* communicator carries the column-panel blocks
+      ``{i ≡ my row : A(i, k)}`` (root: the rank in process col P_c(k)).
+
+    Returns ``(row_panel, col_panel)`` dicts keyed by block index.
+    Ring relays (when configured) are parked on ``state.pending``.
+    """
+    ctx = state.ctx
+    grid = ctx.grid
+    krow, kcol = k % grid.pr, k % grid.pc
+
+    sparse = ctx.config.exploit_sparsity
+    row_payload = None
+    if state.in_row(k):
+        # Row panels multiply from the *right* in the outer product, so
+        # their pointers are never consulted: distances only.
+        row_payload = {
+            j: state.blocks[(k, j)]
+            for j in state.local_cols(exclude=(k,))
+            if not (sparse and _is_empty(ctx, state.blocks[(k, j)]))
+        }
+    col_payload = None
+    if state.in_col(k):
+        if ctx.config.track_paths:
+            # Column panels are the left operand: their next-hop blocks
+            # ride along (the communication cost of path generation).
+            col_payload = {
+                i: (state.blocks[(i, k)], state.nxt[(i, k)])
+                for i in state.local_rows(exclude=(k,))
+                if not (sparse and _is_empty(ctx, state.blocks[(i, k)]))
+            }
+        else:
+            col_payload = {
+                i: state.blocks[(i, k)]
+                for i in state.local_rows(exclude=(k,))
+                if not (sparse and _is_empty(ctx, state.blocks[(i, k)]))
+            }
+
+    if ctx.config.panel_bcast == "ring":
+        if ctx.config.ring_segments > 1:
+            row_panel, relay1 = yield from bcast_ring_segmented(
+                state.col_comm,
+                root=krow,
+                payload=row_payload,
+                tag=Op.tag(k, Op.PANEL_ROW),
+                segments=ctx.config.ring_segments,
+            )
+            col_panel, relay2 = yield from bcast_ring_segmented(
+                state.row_comm,
+                root=kcol,
+                payload=col_payload,
+                tag=Op.tag(k, Op.PANEL_COL),
+                segments=ctx.config.ring_segments,
+            )
+        else:
+            row_panel, relay1 = yield from bcast_ring(
+                state.col_comm,
+                root=krow,
+                payload=row_payload,
+                tag=Op.tag(k, Op.PANEL_ROW),
+                async_relay=ctx.config.async_relay,
+            )
+            col_panel, relay2 = yield from bcast_ring(
+                state.row_comm,
+                root=kcol,
+                payload=col_payload,
+                tag=Op.tag(k, Op.PANEL_COL),
+                async_relay=ctx.config.async_relay,
+            )
+        state.pending.extend([relay1, relay2])
+    else:
+        row_panel = yield from bcast_tree(
+            state.col_comm, root=krow, payload=row_payload, tag=Op.tag(k, Op.PANEL_ROW)
+        )
+        col_panel = yield from bcast_tree(
+            state.row_comm, root=kcol, payload=col_payload, tag=Op.tag(k, Op.PANEL_COL)
+        )
+    return row_panel, col_panel
+
+
+def outer_update(
+    state: RankState,
+    k: int,
+    row_panel: dict[int, np.ndarray],
+    col_panel: dict[int, np.ndarray],
+    skip_rows: tuple[int, ...] = (),
+    skip_cols: tuple[int, ...] = (),
+) -> Optional[Event]:
+    """Enqueue OuterUpdate(k) on this rank's local blocks:
+    ``A(i,j) ← A(i,j) ⊕ A(i,k) ⊗ A(k,j)`` for local i, j ∉ {k} ∪ skip.
+
+    Charged as one aggregated SrGemm of shape
+    (b·|rows|, b·|cols|, b) - the fat local outer product one kernel
+    launch performs.  Returns the completion event (None if nothing to
+    do)."""
+    ctx = state.ctx
+    rows = state.local_rows(exclude=(k, *skip_rows))
+    cols = state.local_cols(exclude=(k, *skip_cols))
+    if ctx.config.exploit_sparsity:
+        # A missing panel block is all-zero (⊕-identity): its products
+        # contribute nothing, so the whole row/column of updates drops.
+        rows = [i for i in rows if i in col_panel]
+        cols = [j for j in cols if j in row_panel]
+    if not rows or not cols:
+        return None
+    b = ctx.b
+
+    if ctx.config.track_paths:
+
+        def fn():
+            for i in rows:
+                a_ik, a_nxt = col_panel[i]
+                for j in cols:
+                    srgemm_accumulate_paths(
+                        state.blocks[(i, j)], state.nxt[(i, j)], a_ik, a_nxt, row_panel[j]
+                    )
+
+    else:
+
+        def fn():
+            for i in rows:
+                a_ik = col_panel[i]
+                for j in cols:
+                    srgemm_accumulate(
+                        state.blocks[(i, j)], a_ik, row_panel[j], semiring=ctx.semiring
+                    )
+
+    return state.stream.kernel(
+        b * len(rows), b * len(cols), b, f"OuterUpdate({k})", maybe(ctx, fn)
+    )

@@ -1,0 +1,130 @@
+"""Block-cyclic distribution of the distance matrix (paper §2.5.1).
+
+The global ``n x n`` matrix is cut into ``nb x nb`` blocks of size
+``b x b``; block (i, j) lives on grid coordinate (i mod P_r, j mod P_c).
+This module scatters/gathers between a global array and per-rank block
+dictionaries, and pads matrices whose order is not a multiple of the
+block size (padding vertices are isolated except for a zero self-loop,
+so they never affect real distances).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..semiring.minplus import MIN_PLUS, Semiring
+from .grid import ProcessGrid
+
+__all__ = [
+    "LocalBlocks",
+    "block_slice",
+    "pad_to_blocks",
+    "distribute",
+    "collect",
+    "local_matrix_elems",
+]
+
+
+#: Per-rank storage: block index -> b x b array.
+LocalBlocks = dict[tuple[int, int], np.ndarray]
+
+
+def block_slice(b: int, bi: int, bj: int) -> tuple[slice, slice]:
+    """Global-array slices of block (bi, bj) for block size ``b``."""
+    return slice(bi * b, (bi + 1) * b), slice(bj * b, (bj + 1) * b)
+
+
+def pad_to_blocks(
+    weights: np.ndarray, b: int, semiring: Semiring = MIN_PLUS
+) -> tuple[np.ndarray, int]:
+    """Pad a square matrix so the block size divides its order.
+
+    Padding rows/columns are filled with the semiring zero (no edge)
+    except a diagonal of semiring one (zero-length self path), which
+    keeps the padded vertices disconnected from the real graph.
+    Returns ``(padded, original_n)``.
+    """
+    n = weights.shape[0]
+    if weights.ndim != 2 or weights.shape[1] != n:
+        raise ConfigurationError(f"weights must be square, got {weights.shape}")
+    if b < 1:
+        raise ConfigurationError(f"block size must be >= 1, got {b}")
+    rem = n % b
+    if rem == 0:
+        return weights, n
+    m = n + (b - rem)
+    out = semiring.zeros((m, m), dtype=weights.dtype)
+    out[:n, :n] = weights
+    for v in range(n, m):
+        out[v, v] = semiring.one
+    return out, n
+
+
+def distribute(
+    weights: np.ndarray, b: int, grid: ProcessGrid
+) -> list[LocalBlocks]:
+    """Scatter a (block-divisible) matrix into per-rank block dicts.
+
+    Blocks are *copies*, so the distributed computation never aliases
+    the caller's array.
+    """
+    n = weights.shape[0]
+    if n % b:
+        raise ConfigurationError(f"block size {b} does not divide n={n}; pad first")
+    nb = n // b
+    locals_: list[LocalBlocks] = [dict() for _ in range(grid.size)]
+    for bi in range(nb):
+        for bj in range(nb):
+            owner = grid.owner(bi, bj)
+            locals_[owner][(bi, bj)] = weights[block_slice(b, bi, bj)].copy()
+    return locals_
+
+
+def collect(
+    locals_: list[LocalBlocks] | Mapping[int, LocalBlocks],
+    n: int,
+    b: int,
+    grid: ProcessGrid,
+    dtype=None,
+) -> np.ndarray:
+    """Gather per-rank block dicts back into a global ``n x n`` array.
+
+    ``n`` may be the *original* (pre-padding) order; blocks beyond it
+    are cropped.
+    """
+    if isinstance(locals_, Mapping):
+        per_rank = [locals_[r] for r in range(grid.size)]
+    else:
+        per_rank = list(locals_)
+    if len(per_rank) != grid.size:
+        raise ConfigurationError(
+            f"got {len(per_rank)} rank states for a grid of {grid.size}"
+        )
+    nb = -(-n // b)  # ceil: covers cropped final blocks
+    n_pad = nb * b
+    sample = next((blk for blocks in per_rank for blk in blocks.values()), None)
+    if sample is None:
+        raise ConfigurationError("no blocks to collect")
+    out = np.empty((n_pad, n_pad), dtype=dtype or sample.dtype)
+    seen = 0
+    for rank, blocks in enumerate(per_rank):
+        for (bi, bj), blk in blocks.items():
+            if grid.owner(bi, bj) != rank:
+                raise ConfigurationError(
+                    f"rank {rank} holds block {(bi, bj)} owned by {grid.owner(bi, bj)}"
+                )
+            out[block_slice(b, bi, bj)] = blk
+            seen += 1
+    if seen != nb * nb:
+        raise ConfigurationError(f"collected {seen} blocks, expected {nb * nb}")
+    return out[:n, :n]
+
+
+def local_matrix_elems(rank: int, nb: int, b: int, grid: ProcessGrid) -> int:
+    """Number of matrix elements rank holds (for memory accounting)."""
+    rows = len(grid.local_block_rows(rank, nb))
+    cols = len(grid.local_block_cols(rank, nb))
+    return rows * cols * b * b

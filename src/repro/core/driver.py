@@ -1,0 +1,299 @@
+"""The public entry point: run a distributed APSP on the simulated cluster.
+
+:func:`apsp` assembles the whole stack - cluster, MPI world, process
+grid, placement, rank programs - runs the discrete-event simulation,
+gathers the distance matrix, and returns it together with a
+:class:`~repro.core.report.PerfReport`.
+
+Typical use::
+
+    from repro import apsp
+    from repro.graphs import uniform_random_dense
+
+    w = uniform_random_dense(256, seed=0)
+    result = apsp(w, block_size=32, variant="async", n_nodes=4,
+                  ranks_per_node=4)
+    print(result.report.summary())
+    dist = result.dist
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, ValidationError
+from ..machine.cluster import SimCluster
+from ..machine.cost import CostModel
+from ..machine.spec import SUMMIT, MachineSpec
+from ..mpi.comm import SimMPI
+from ..semiring.closure import check_no_negative_cycle
+from ..semiring.minplus import MIN_PLUS, Semiring
+from ..sim.engine import Environment
+from ..sim.trace import Tracer
+from .baseline import baseline_program
+from .blocked import blocked_fw
+from .context import FwContext, RankState, SolverConfig
+from .distribution import collect, distribute, local_matrix_elems, pad_to_blocks
+from .grid import ProcessGrid, near_square_factors
+from .offload import offload_gpu_footprint, offload_program
+from .pipelined import pipelined_program
+from .placement import (
+    RankPlacement,
+    contiguous_placement,
+    optimal_placement,
+    tiled_placement,
+)
+from .report import PerfReport
+from .variants import Variant, variant_config
+
+__all__ = ["ApspResult", "apsp", "placement_for_variant", "default_block_size"]
+
+
+@dataclass
+class ApspResult:
+    """Outcome of one simulated distributed APSP run."""
+
+    #: The full n x n distance matrix (None when ``collect=False``).
+    dist: Optional[np.ndarray]
+    report: PerfReport
+    tracer: Optional[Tracer]
+    #: Next-hop pointers (only when ``track_paths=True``): the vertex
+    #: after i on a shortest i->j path, -1 where none.
+    next_hops: Optional[np.ndarray] = None
+
+
+def default_block_size(n: int, grid: ProcessGrid) -> int:
+    """A block size giving each process row/column ~4 block rows, so
+    the pipeline has room to wind up; clamped to [1, n]."""
+    target_nb = 4 * max(grid.pr, grid.pc)
+    return max(1, min(n, -(-n // target_nb)))
+
+
+def placement_for_variant(
+    variant: Variant, grid: ProcessGrid, ranks_per_node: int
+) -> RankPlacement:
+    """Default placement per variant: launcher-style contiguous for
+    Baseline/Pipelined/Offload, the optimal K_r ≈ K_c tiling for
+    +Reordering and +Async."""
+    if variant in (Variant.REORDERING, Variant.ASYNC):
+        return optimal_placement(grid, ranks_per_node)
+    try:
+        return contiguous_placement(grid, ranks_per_node)
+    except ConfigurationError:
+        # Contiguous packing wraps rows for this shape; use the closest
+        # rectangular equivalent (1 x Q or Q x 1 tile).
+        if grid.pc % ranks_per_node == 0:
+            return tiled_placement(grid, 1, ranks_per_node)
+        if grid.pr % ranks_per_node == 0:
+            return tiled_placement(grid, ranks_per_node, 1)
+        return optimal_placement(grid, ranks_per_node)
+
+
+def apsp(
+    weights: np.ndarray,
+    *,
+    variant: Union[str, Variant] = Variant.ASYNC,
+    block_size: Optional[int] = None,
+    machine: MachineSpec = SUMMIT,
+    n_nodes: int = 1,
+    ranks_per_node: Optional[int] = None,
+    grid: Optional[ProcessGrid] = None,
+    placement: Optional[RankPlacement] = None,
+    dim_scale: float = 1.0,
+    semiring: Semiring = MIN_PLUS,
+    diag_on_gpu: bool = True,
+    n_streams: int = 3,
+    ring_segments: int = 1,
+    mx_blocks: int = 2,
+    nx_blocks: int = 2,
+    collect_result: bool = True,
+    validate: bool = False,
+    trace: bool = False,
+    check_negative_cycles: bool = True,
+    compute_numerics: bool = True,
+    stragglers: Optional[dict[int, float]] = None,
+    track_paths: bool = False,
+    exploit_sparsity: bool = False,
+) -> ApspResult:
+    """Solve all-pairs shortest paths on the simulated cluster.
+
+    Parameters
+    ----------
+    weights:
+        Square weight matrix; ``semiring.zero`` (+inf) marks a missing
+        edge.  The diagonal should be 0 (it is not forced).
+    variant:
+        One of ``baseline | pipelined | reordering | async | offload``
+        (the paper's legends), or a :class:`Variant`.
+    block_size:
+        Block size ``b``; defaults to :func:`default_block_size`.
+    machine, n_nodes, ranks_per_node:
+        Cluster shape.  ``ranks_per_node`` defaults to 2 ranks per GPU
+        (the paper's launch configuration).
+    grid, placement:
+        Explicit process grid / rank placement; defaults to the
+        near-square grid and the variant's placement policy.
+    dim_scale:
+        Virtual/physical scaling of all costs (see
+        :class:`~repro.machine.cost.CostModel`).  1.0 simulates the
+        physical matrix literally.
+    validate:
+        Recompute with the sequential blocked oracle and raise
+        :class:`~repro.errors.ValidationError` on mismatch.
+    trace:
+        Record spans for Gantt rendering / overlap analysis.
+    stragglers:
+        ``{node_id: factor}`` NIC slowdowns modeling contended links or
+        slow nodes (the paper's §3.3 motivation for the asynchronous
+        ring broadcast).
+    exploit_sparsity:
+        Skip all-infinite blocks in panel broadcasts and outer products
+        (structured-sparsity future work; fill-in re-checked every
+        iteration).  Requires real numerics.
+    track_paths:
+        Carry next-hop pointer blocks through the distributed sweep
+        (distributed shortest-path generation, the paper's future
+        work); the result's ``next_hops`` is then the full pointer
+        matrix.  (min,+) only; not supported by the offload variant.
+
+    Raises
+    ------
+    GpuOutOfMemory
+        For non-offload variants whose per-rank matrix does not fit in
+        (virtual) HBM - use ``variant="offload"``.
+    """
+    w = np.asarray(weights)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise ConfigurationError(f"weights must be square, got {w.shape}")
+    n = w.shape[0]
+    var = Variant.parse(variant)
+
+    if ranks_per_node is None:
+        ranks_per_node = 2 * machine.node.gpus_per_node
+    n_ranks = n_nodes * ranks_per_node
+    if grid is None:
+        pr, pc = near_square_factors(n_ranks)
+        grid = ProcessGrid(pr, pc)
+    elif grid.size != n_ranks:
+        raise ConfigurationError(
+            f"grid {grid.pr}x{grid.pc} has {grid.size} ranks but "
+            f"{n_nodes} nodes x {ranks_per_node} ranks/node = {n_ranks}"
+        )
+    if placement is None:
+        placement = placement_for_variant(var, grid, ranks_per_node)
+    if placement.n_nodes != n_nodes:
+        raise ConfigurationError(
+            f"placement spans {placement.n_nodes} nodes, run requested {n_nodes}"
+        )
+
+    b = block_size if block_size is not None else default_block_size(n, grid)
+    padded, n_orig = pad_to_blocks(w, b, semiring)
+    nb = padded.shape[0] // b
+
+    if not compute_numerics and (validate or collect_result):
+        raise ConfigurationError(
+            "compute_numerics=False runs the simulation hollow; the result "
+            "matrix is meaningless - pass collect_result=False, validate=False"
+        )
+    config = variant_config(
+        var,
+        SolverConfig(
+            block_size=b,
+            semiring=semiring,
+            diag_on_gpu=diag_on_gpu,
+            n_streams=n_streams,
+            mx_blocks=mx_blocks,
+            nx_blocks=nx_blocks,
+            ring_segments=ring_segments,
+            track_paths=track_paths,
+            exploit_sparsity=exploit_sparsity,
+            compute_numerics=compute_numerics,
+        ),
+    )
+    if track_paths and not compute_numerics:
+        raise ConfigurationError("track_paths requires compute_numerics=True")
+
+    env = Environment()
+    tracer = Tracer(enabled=trace)
+    cost = CostModel(machine, dim_scale=dim_scale)
+    cluster = SimCluster(env, machine, n_nodes, cost, tracer if trace else None)
+    if stragglers:
+        cluster.set_stragglers(stragglers)
+    mpi = SimMPI(env, cluster, [placement.node_of(r) for r in range(n_ranks)],
+                 tracer if trace else None)
+    ctx = FwContext(env, cluster, mpi, grid, placement, config, nb,
+                    tracer if trace else None)
+
+    locals_ = distribute(padded, b, grid)
+    if track_paths:
+        from ..semiring.path_kernels import NO_HOP, init_next_hops
+
+        nxt_global = init_next_hops(padded)
+        np.fill_diagonal(nxt_global, NO_HOP)
+        nxt_locals = distribute(nxt_global, b, grid)
+        states = [
+            RankState(ctx, r, locals_[r], nxt=nxt_locals[r]) for r in range(n_ranks)
+        ]
+    else:
+        states = [RankState(ctx, r, locals_[r]) for r in range(n_ranks)]
+
+    # -- memory accounting (where Figure 7's feasibility wall comes from) --
+    for state in states:
+        elems = local_matrix_elems(state.me, nb, b, grid)
+        rows = len(state.local_rows())
+        cols = len(state.local_cols())
+        if config.offload:
+            state.host.alloc(int(cost.bytes_of(rows * b, cols * b)), "local distance matrix")
+            state.hbm_charged = state.gpu.alloc(
+                offload_gpu_footprint(state), f"rank {state.me} offload buffers"
+            )
+        else:
+            footprint = (
+                cost.gpu_bytes(rows * b, cols * b)  # local matrix
+                + cost.gpu_bytes(b, cols * b)  # received row panel
+                + cost.gpu_bytes(rows * b, b)  # received column panel
+                + cost.gpu_bytes(b, b)  # diagonal block
+            )
+            if track_paths:
+                # int64 pointer blocks cost 2x the float32 distances.
+                footprint *= 3
+            state.hbm_charged = state.gpu.alloc(footprint, f"rank {state.me} matrix+panels")
+        assert elems == rows * cols * b * b
+
+    program = offload_program if config.offload else (
+        pipelined_program if config.pipelined else baseline_program
+    )
+    procs = [env.process(program(state), name=f"rank{state.me}") for state in states]
+    env.run()
+    for p in procs:
+        if not p.processed or not p.ok:  # pragma: no cover - defensive
+            raise RuntimeError(f"rank program {p.name} did not complete cleanly")
+    elapsed = env.now
+
+    dist = None
+    next_hops = None
+    if collect_result or validate:
+        dist = collect([s.blocks for s in states], n_orig, b, grid)
+        if track_paths:
+            next_hops = collect([s.nxt for s in states], n_orig, b, grid)
+        if check_negative_cycles and semiring is MIN_PLUS:
+            check_no_negative_cycle(dist)
+    if validate:
+        oracle = blocked_fw(w, b, semiring=semiring, check_negative_cycles=False)
+        if not np.allclose(dist, oracle, equal_nan=True):
+            bad = int(np.sum(~np.isclose(dist, oracle, equal_nan=True)))
+            raise ValidationError(
+                f"distributed result differs from sequential oracle in {bad} entries"
+            )
+
+    report = PerfReport.from_run(
+        var.value, n, cost, placement, elapsed, mpi, cluster,
+        tracer if trace else None,
+    )
+    report.block_size = b
+    return ApspResult(dist=dist if collect_result else None, report=report,
+                      tracer=tracer if trace else None,
+                      next_hops=next_hops if collect_result else None)

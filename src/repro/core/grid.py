@@ -1,0 +1,114 @@
+"""The 2-D logical process grid (paper §2.5.1).
+
+MPI processes are arranged in a ``P_r x P_c`` grid; the distance matrix
+is distributed block-cyclically, so block ``(i, j)`` lives on the
+process at grid coordinate ``(i mod P_r, j mod P_c)``.  World ranks
+number the grid row-major (rank = row * P_c + col), which is also how
+typical launchers hand out consecutive ranks - the starting point for
+the placement discussion in §3.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ProcessGrid", "factor_pairs", "near_square_factors"]
+
+
+def factor_pairs(p: int) -> list[tuple[int, int]]:
+    """All ordered factorizations ``(a, b)`` with ``a * b == p``."""
+    if p < 1:
+        raise ValueError(f"p must be positive, got {p}")
+    out = []
+    for a in range(1, int(math.isqrt(p)) + 1):
+        if p % a == 0:
+            out.append((a, p // a))
+            if a != p // a:
+                out.append((p // a, a))
+    out.sort()
+    return out
+
+
+def near_square_factors(p: int) -> tuple[int, int]:
+    """The factorization ``(a, b)`` of ``p`` with ``a <= b`` minimizing
+    ``b - a`` (the paper's P_r ≈ P_c guidance, Eq. 3)."""
+    best = (1, p)
+    for a, b in factor_pairs(p):
+        if a <= b and (b - a) < (best[1] - best[0]):
+            best = (a, b)
+    return best
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``P_r x P_c`` process grid with block-cyclic ownership."""
+
+    pr: int
+    pc: int
+
+    def __post_init__(self):
+        if self.pr < 1 or self.pc < 1:
+            raise ConfigurationError(f"grid dims must be positive: {self.pr} x {self.pc}")
+
+    @property
+    def size(self) -> int:
+        return self.pr * self.pc
+
+    # -- rank <-> coordinate ----------------------------------------------
+    def coords(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates (row, col) of a world rank (row-major)."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(f"rank {rank} outside grid of size {self.size}")
+        return divmod(rank, self.pc)
+
+    def rank_of(self, row: int, col: int) -> int:
+        return (row % self.pr) * self.pc + (col % self.pc)
+
+    # -- block ownership -----------------------------------------------------
+    def owner_coords(self, bi: int, bj: int) -> tuple[int, int]:
+        """Grid coordinate owning block (bi, bj) under block-cyclic
+        distribution."""
+        return bi % self.pr, bj % self.pc
+
+    def owner(self, bi: int, bj: int) -> int:
+        r, c = self.owner_coords(bi, bj)
+        return self.rank_of(r, c)
+
+    def owns(self, rank: int, bi: int, bj: int) -> bool:
+        return self.owner(bi, bj) == rank
+
+    # -- rows / columns ---------------------------------------------------------
+    def row_ranks(self, row: int) -> tuple[int, ...]:
+        """World ranks of process-grid row ``row`` (ordered by column).
+
+        This is the communicator P_r(k) of the paper for k ≡ row."""
+        row %= self.pr
+        return tuple(self.rank_of(row, c) for c in range(self.pc))
+
+    def col_ranks(self, col: int) -> tuple[int, ...]:
+        """World ranks of process-grid column ``col`` (ordered by row)."""
+        col %= self.pc
+        return tuple(self.rank_of(r, col) for r in range(self.pr))
+
+    # -- local block index sets --------------------------------------------
+    def local_block_rows(self, rank: int, nb: int) -> list[int]:
+        """Block-row indices owned by ``rank`` for an nb x nb block grid."""
+        row, _ = self.coords(rank)
+        return list(range(row, nb, self.pr))
+
+    def local_block_cols(self, rank: int, nb: int) -> list[int]:
+        _, col = self.coords(rank)
+        return list(range(col, nb, self.pc))
+
+    def local_blocks(self, rank: int, nb: int) -> list[tuple[int, int]]:
+        return [
+            (i, j)
+            for i in self.local_block_rows(rank, nb)
+            for j in self.local_block_cols(rank, nb)
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.pr}x{self.pc} grid ({self.size} ranks)"

@@ -1,0 +1,186 @@
+"""Memory-efficient distributed Floyd-Warshall, Me-ParallelFw (§4.3).
+
+Follows the *baseline* schedule (the paper's legends call this variant
+"offload": "the memory-efficient flavor of Algorithm 3"), but the local
+distance matrix lives in host DRAM rather than HBM:
+
+* DiagUpdate / PanelUpdate stage their (small) operands to the GPU and
+  stage results back for the MPI broadcasts;
+* OuterUpdate streams the local matrix through the GPU with the
+  ooGSrGemm pipeline of :mod:`repro.core.oog_srgemm` - panels ride to
+  the device once per iteration, C tiles cycle through ``s`` stream
+  buffers, hostUpdates land the results.
+
+GPU memory holds only panels + diagonal + stream buffers, so problems
+~2.5x beyond aggregate HBM become feasible at a modest throughput cost
+(the paper's Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..semiring.kernels import srgemm_accumulate
+from ..semiring.minplus import Semiring
+from .context import (
+    RankState,
+    maybe,
+    diag_bcast,
+    diag_update,
+    panel_bcast,
+)
+from .oog_srgemm import TileTask, run_oog_pipeline
+
+__all__ = ["offload_program", "offload_gpu_footprint"]
+
+
+def offload_gpu_footprint(state: RankState) -> int:
+    """Virtual HBM bytes Me-ParallelFw needs on this rank's GPU:
+    the two panels, the diagonal block, and ``s`` tile buffers."""
+    ctx = state.ctx
+    cfg = ctx.config
+    b = ctx.b
+    n_local_rows = len(state.local_rows())
+    n_local_cols = len(state.local_cols())
+    panel_bytes = ctx.cost.gpu_bytes(b * n_local_rows, b) + ctx.cost.gpu_bytes(
+        b, b * n_local_cols
+    )
+    diag_bytes = ctx.cost.gpu_bytes(b, b)
+    tile_bytes = cfg.n_streams * ctx.cost.gpu_bytes(
+        b * cfg.mx_blocks, b * cfg.nx_blocks
+    )
+    return panel_bytes + diag_bytes + tile_bytes
+
+
+def _chunks(items: list[int], size: int) -> list[list[int]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _offload_diag_update(state: RankState, k: int):
+    """Generator: DiagUpdate(k) with host<->device staging."""
+    b = state.ctx.b
+    state.stream.h2d(b, b, label=f"h2d:diag{k}")
+    diag_update(state, k)  # enqueues the squaring-chain kernel
+    state.stream.d2h(b, b, label=f"d2h:diag{k}")
+    yield state.stream.synchronize()
+
+
+def _offload_panel_row(state: RankState, k: int, diag: np.ndarray):
+    """Generator: row PanelUpdate with staging; completes when the
+    updated panel is back on the host (ready to broadcast)."""
+    ctx = state.ctx
+    b = ctx.b
+    cols = state.local_cols(exclude=(k,))
+    if not cols:
+        return
+    s = state.stream
+    s.h2d(b, b, label=f"h2d:diag{k}")
+    s.h2d(b, b * len(cols), label=f"h2d:rowpanel{k}")
+
+    def fn():
+        for j in cols:
+            blk = state.blocks[(k, j)]
+            srgemm_accumulate(blk, diag, blk.copy(), semiring=ctx.semiring)
+
+    s.kernel(b, b * len(cols), b, f"PanelUpdateRow({k})", maybe(ctx, fn))
+    s.d2h(b, b * len(cols), label=f"d2h:rowpanel{k}")
+    yield s.synchronize()
+
+
+def _offload_panel_col(state: RankState, k: int, diag: np.ndarray):
+    ctx = state.ctx
+    b = ctx.b
+    rows = state.local_rows(exclude=(k,))
+    if not rows:
+        return
+    s = state.stream
+    s.h2d(b, b, label=f"h2d:diag{k}")
+    s.h2d(b * len(rows), b, label=f"h2d:colpanel{k}")
+
+    def fn():
+        for i in rows:
+            blk = state.blocks[(i, k)]
+            srgemm_accumulate(blk, blk.copy(), diag, semiring=ctx.semiring)
+
+    s.kernel(b * len(rows), b, b, f"PanelUpdateCol({k})", maybe(ctx, fn))
+    s.d2h(b * len(rows), b, label=f"d2h:colpanel{k}")
+    yield s.synchronize()
+
+
+def _outer_tiles(
+    state: RankState,
+    k: int,
+    row_panel: dict[int, np.ndarray],
+    col_panel: dict[int, np.ndarray],
+) -> list[TileTask]:
+    """The ooGSrGemm tile plan for OuterUpdate(k) on this rank.
+
+    Local block rows/cols (excluding k) are grouped into chunks of
+    mx_blocks x nx_blocks; panel pieces are h2d'd on first use,
+    keyed per (iteration, side, chunk)."""
+    ctx = state.ctx
+    cfg = ctx.config
+    b = ctx.b
+    semiring: Semiring = ctx.semiring
+    row_chunks = _chunks(state.local_rows(exclude=(k,)), cfg.mx_blocks)
+    col_chunks = _chunks(state.local_cols(exclude=(k,)), cfg.nx_blocks)
+    tiles: list[TileTask] = []
+    for ci, rows in enumerate(row_chunks):
+        for cj, cols in enumerate(col_chunks):
+            h2d = []
+            if cj == 0:
+                h2d.append(((k, "A", ci), b * len(rows), b))
+            if ci == 0:
+                h2d.append(((k, "B", cj), b, b * len(cols)))
+
+            def compute(rows=rows, cols=cols):
+                a = np.vstack([col_panel[i] for i in rows])
+                bmat = np.hstack([row_panel[j] for j in cols])
+                x = semiring.zeros((a.shape[0], bmat.shape[1]), dtype=a.dtype)
+                return srgemm_accumulate(x, a, bmat, semiring=semiring)
+
+            def apply(x, rows=rows, cols=cols):
+                for ri, i in enumerate(rows):
+                    for rj, j in enumerate(cols):
+                        blk = state.blocks[(i, j)]
+                        semiring.plus(
+                            blk, x[ri * b : (ri + 1) * b, rj * b : (rj + 1) * b], out=blk
+                        )
+
+            tiles.append(
+                TileTask(
+                    m=b * len(rows),
+                    n=b * len(cols),
+                    k=b,
+                    h2d=h2d,
+                    compute=maybe(ctx, compute),
+                    apply=maybe(ctx, apply),
+                    label=f"outer{k}[{ci},{cj}]",
+                )
+            )
+    return tiles
+
+
+def offload_program(state: RankState):
+    """Generator: Me-ParallelFw as executed by one rank."""
+    ctx = state.ctx
+    for k in range(ctx.nb):
+        diag = None
+        if state.owns_diag(k):
+            yield from _offload_diag_update(state, k)
+            diag = state.blocks[(k, k)]
+        if state.in_row(k) or state.in_col(k):
+            diag = yield from diag_bcast(state, k, diag)
+        if state.in_row(k):
+            yield from _offload_panel_row(state, k, diag)
+        if state.in_col(k):
+            yield from _offload_panel_col(state, k, diag)
+
+        row_panel, col_panel = yield from panel_bcast(state, k)
+
+        tiles = _outer_tiles(state, k, row_panel, col_panel)
+        yield from run_oog_pipeline(
+            ctx.env, state.gpu, state.host, tiles, ctx.config.n_streams, label=f"r{state.me}.oog{k}"
+        )
+    yield from state.drain()
+    return state.blocks

@@ -1,0 +1,199 @@
+"""Pipelined distributed Floyd-Warshall (paper Algorithm 4, §3.2).
+
+The bulk-sequential dependence of Algorithm 3 is broken by observing
+that iteration k+1's DiagUpdate and PanelUpdate only need the (k+1)
+panels, not the whole matrix.  Each iteration k therefore:
+
+1. ranks touching the (k+1) panels *look ahead*: they apply
+   OuterUpdate(k) to just those panels, run DiagUpdate(k+1) /
+   DiagBcast(k+1) / PanelUpdate(k+1), and initiate PanelBcast(k+1);
+2. every rank then launches the big OuterUpdate(k) kernel on its GPU
+   *asynchronously* and, while it runs, participates in
+   PanelBcast(k+1) - the broadcast rides under the outer product,
+   which is the whole point.
+
+With the ring PanelBcast (``panel_bcast="ring"``, §3.3) relays are
+issued asynchronously, so broadcasts from different iterations overlap
+and no collective acts as a barrier - the paper's ``+Async`` variant.
+With the tree it is the plain ``Pipelined`` variant.
+"""
+
+from __future__ import annotations
+
+from ..semiring.kernels import srgemm_accumulate
+from ..semiring.path_kernels import srgemm_accumulate_paths
+from .context import (
+    RankState,
+    maybe,
+    diag_bcast,
+    diag_update,
+    outer_update,
+    panel_bcast,
+    panel_update_col,
+    panel_update_row,
+)
+
+__all__ = ["pipelined_program"]
+
+
+def _lookahead_diag(state: RankState, k: int, row_panel, col_panel):
+    """Kernel: apply OuterUpdate(k) to block (k+1, k+1) only."""
+    ctx = state.ctx
+    blk = state.blocks[(k + 1, k + 1)]
+    bmat = row_panel[k + 1]
+
+    if ctx.config.track_paths:
+        a, a_nxt = col_panel[k + 1]
+        nblk = state.nxt[(k + 1, k + 1)]
+
+        def fn():
+            srgemm_accumulate_paths(blk, nblk, a, a_nxt, bmat)
+
+    else:
+        a = col_panel[k + 1]
+
+        def fn():
+            srgemm_accumulate(blk, a, bmat, semiring=ctx.semiring)
+
+    return state.stream.kernel(ctx.b, ctx.b, ctx.b, f"LookaheadDiag({k + 1})", maybe(ctx, fn))
+
+
+def _lookahead_row(state: RankState, k: int, row_panel, col_panel):
+    """Kernel: apply OuterUpdate(k) to the (k+1) block row (local
+    j ∉ {k, k+1}): ``A(k+1,j) ⊕= A(k+1,k) ⊗ A(k,j)``."""
+    ctx = state.ctx
+    cols = state.local_cols(exclude=(k, k + 1))
+    if ctx.config.exploit_sparsity:
+        cols = [j for j in cols if j in row_panel]
+    if not cols:
+        return None
+
+    if ctx.config.track_paths:
+        a, a_nxt = col_panel[k + 1]
+
+        def fn():
+            for j in cols:
+                srgemm_accumulate_paths(
+                    state.blocks[(k + 1, j)], state.nxt[(k + 1, j)], a, a_nxt, row_panel[j]
+                )
+
+    else:
+        a = col_panel[k + 1]
+
+        def fn():
+            for j in cols:
+                srgemm_accumulate(state.blocks[(k + 1, j)], a, row_panel[j], semiring=ctx.semiring)
+
+    return state.stream.kernel(
+        ctx.b, ctx.b * len(cols), ctx.b, f"LookaheadRow({k + 1})", maybe(ctx, fn)
+    )
+
+
+def _lookahead_col(state: RankState, k: int, row_panel, col_panel):
+    """Kernel: apply OuterUpdate(k) to the (k+1) block column (local
+    i ∉ {k, k+1}): ``A(i,k+1) ⊕= A(i,k) ⊗ A(k,k+1)``."""
+    ctx = state.ctx
+    rows = state.local_rows(exclude=(k, k + 1))
+    if ctx.config.exploit_sparsity:
+        rows = [i for i in rows if i in col_panel]
+    if not rows:
+        return None
+    bmat = row_panel[k + 1]
+
+    if ctx.config.track_paths:
+
+        def fn():
+            for i in rows:
+                a, a_nxt = col_panel[i]
+                srgemm_accumulate_paths(
+                    state.blocks[(i, k + 1)], state.nxt[(i, k + 1)], a, a_nxt, bmat
+                )
+
+    else:
+
+        def fn():
+            for i in rows:
+                srgemm_accumulate(state.blocks[(i, k + 1)], col_panel[i], bmat, semiring=ctx.semiring)
+
+    return state.stream.kernel(
+        ctx.b * len(rows), ctx.b, ctx.b, f"LookaheadCol({k + 1})", maybe(ctx, fn)
+    )
+
+
+def pipelined_program(state: RankState):
+    """Generator: Algorithm 4 as executed by one rank."""
+    ctx = state.ctx
+    nb = ctx.nb
+
+    # ---- Prologue: start the pipeline with iteration 0's panels ---------
+    diag = None
+    if state.owns_diag(0):
+        yield diag_update(state, 0)
+        diag = state.blocks[(0, 0)]
+    if state.in_row(0) or state.in_col(0):
+        diag = yield from diag_bcast(state, 0, diag)
+    if state.in_row(0):
+        ev = panel_update_row(state, 0, diag)
+        if ev is not None:
+            yield ev
+    if state.in_col(0):
+        ev = panel_update_col(state, 0, diag)
+        if ev is not None:
+            yield ev
+    row_panel, col_panel = yield from panel_bcast(state, 0)
+
+    # ---- Main loop -------------------------------------------------------
+    for k in range(nb):
+        skip_rows: tuple[int, ...] = ()
+        skip_cols: tuple[int, ...] = ()
+        if k + 1 < nb:
+            # -- Look-ahead phase: bring the (k+1) panels up to date and
+            #    broadcast them, before the bulk of OuterUpdate(k).
+            # With sparsity, a missing panel piece means that side of
+            # the (k+1) look-ahead contributes nothing this iteration.
+            have_col = (k + 1) in col_panel
+            have_row = (k + 1) in row_panel
+            diag_next = None
+            if state.owns_diag(k + 1):
+                if have_col and have_row:
+                    _lookahead_diag(state, k, row_panel, col_panel)
+                yield diag_update(state, k + 1)
+                diag_next = state.blocks[(k + 1, k + 1)]
+            if state.in_row(k + 1) or state.in_col(k + 1):
+                lookahead_evs = []
+                if state.in_row(k + 1) and have_col:
+                    lookahead_evs.append(_lookahead_row(state, k, row_panel, col_panel))
+                if state.in_col(k + 1) and have_row:
+                    lookahead_evs.append(_lookahead_col(state, k, row_panel, col_panel))
+                # DiagBcast(k+1): the look-ahead kernels overlap the wait.
+                diag_next = yield from diag_bcast(state, k + 1, diag_next)
+                if ctx.config.exploit_sparsity:
+                    # The panel updates below inspect block emptiness at
+                    # enqueue time; the look-ahead fill-in must have
+                    # landed first (stale emptiness would drop blocks).
+                    for ev in lookahead_evs:
+                        if ev is not None:
+                            yield ev
+                evs = []
+                if state.in_row(k + 1):
+                    evs.append(panel_update_row(state, k + 1, diag_next))
+                    skip_rows = (k + 1,)
+                if state.in_col(k + 1):
+                    evs.append(panel_update_col(state, k + 1, diag_next))
+                    skip_cols = (k + 1,)
+                for ev in evs:
+                    if ev is not None:
+                        yield ev
+
+        # -- Launch the big OuterUpdate(k) asynchronously -----------------
+        outer_ev = outer_update(state, k, row_panel, col_panel, skip_rows, skip_cols)
+
+        # -- While it runs, move the (k+1) panels ---------------------------
+        if k + 1 < nb:
+            row_panel, col_panel = yield from panel_bcast(state, k + 1)
+
+        if outer_ev is not None:
+            yield outer_ev
+
+    yield from state.drain()
+    return state.blocks

@@ -1,0 +1,179 @@
+"""Rank-to-node placement (paper §3.4).
+
+All ranks of a node share its NIC, so *which* grid coordinates land on
+a node determines how much panel-broadcast traffic must leave the node.
+With a ``Q_r x Q_c`` intranode tile of the process grid, a node's
+outgoing volume per FW sweep is ``n² (Q_r / P_r + Q_c / P_c)`` bytes
+(§3.4.1), minimized when the node grid ``K_r = P_r / Q_r`` and
+``K_c = P_c / Q_c`` are near-square (Eq. 2) - the paper's Figure 1
+placement.  The typical launcher default packs *consecutive* ranks on
+each node, i.e. a ``1 x Q`` (or ``Q x 1``) intranode tile, which is the
+poorly-performing baseline in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .grid import ProcessGrid, factor_pairs
+
+__all__ = [
+    "RankPlacement",
+    "tiled_placement",
+    "contiguous_placement",
+    "optimal_placement",
+    "enumerate_placements",
+]
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """An assignment of grid coordinates to nodes.
+
+    Attributes
+    ----------
+    grid: the process grid being placed.
+    qr, qc: intranode process-grid tile (Q_r x Q_c, Q = ranks/node).
+    rank_to_node: world rank -> node id.
+    """
+
+    grid: ProcessGrid
+    qr: int
+    qc: int
+    rank_to_node: tuple[int, ...] = field(repr=False)
+
+    def __post_init__(self):
+        if self.grid.pr % self.qr or self.grid.pc % self.qc:
+            raise ConfigurationError(
+                f"intranode tile {self.qr}x{self.qc} does not divide grid "
+                f"{self.grid.pr}x{self.grid.pc}"
+            )
+        if len(self.rank_to_node) != self.grid.size:
+            raise ConfigurationError("rank_to_node length != grid size")
+
+    @property
+    def kr(self) -> int:
+        """Node-grid rows K_r = P_r / Q_r."""
+        return self.grid.pr // self.qr
+
+    @property
+    def kc(self) -> int:
+        """Node-grid columns K_c = P_c / Q_c."""
+        return self.grid.pc // self.qc
+
+    @property
+    def ranks_per_node(self) -> int:
+        return self.qr * self.qc
+
+    @property
+    def n_nodes(self) -> int:
+        return self.kr * self.kc
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    def local_index(self, rank: int) -> int:
+        """Position of ``rank`` among the ranks of its node (stable,
+        used to bind ranks to the node's GPUs)."""
+        node = self.rank_to_node[rank]
+        return sum(1 for r in range(rank) if self.rank_to_node[r] == node)
+
+    def describe(self) -> str:
+        """The (P_r, P_c, K_r, K_c) tuple format of the paper's Fig. 3
+        legends, extended with Q."""
+        return (
+            f"P={self.grid.pr}x{self.grid.pc} K={self.kr}x{self.kc} "
+            f"Q={self.qr}x{self.qc}"
+        )
+
+    def ascii_diagram(self) -> str:
+        """Render which node owns each grid coordinate (the paper's
+        Figure 1, as text)."""
+        lines = []
+        width = len(str(self.n_nodes - 1)) + 1
+        for r in range(self.grid.pr):
+            row = [
+                f"{self.rank_to_node[self.grid.rank_of(r, c)]:>{width}}"
+                for c in range(self.grid.pc)
+            ]
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+
+def tiled_placement(grid: ProcessGrid, qr: int, qc: int) -> RankPlacement:
+    """Place a ``qr x qc`` tile of grid coordinates on each node (the
+    paper's optimal scheme when qr ≈ qc; its Figure 1 shows 4 nodes x
+    (2x3) tiles for K=4, Q=6)."""
+    if grid.pr % qr or grid.pc % qc:
+        raise ConfigurationError(
+            f"tile {qr}x{qc} does not divide grid {grid.pr}x{grid.pc}"
+        )
+    kc = grid.pc // qc
+    mapping = []
+    for rank in range(grid.size):
+        row, col = grid.coords(rank)
+        node = (row // qr) * kc + (col // qc)
+        mapping.append(node)
+    return RankPlacement(grid, qr, qc, tuple(mapping))
+
+
+def contiguous_placement(grid: ProcessGrid, ranks_per_node: int) -> RankPlacement:
+    """The launcher default: consecutive world ranks share a node.
+
+    With row-major rank numbering this is a ``1 x Q`` intranode tile
+    when Q divides P_c (or degenerates to whole rows per node), i.e.
+    the high-traffic configurations of Figure 3.
+    """
+    if grid.size % ranks_per_node:
+        raise ConfigurationError(
+            f"{ranks_per_node} ranks/node does not divide {grid.size} ranks"
+        )
+    mapping = tuple(rank // ranks_per_node for rank in range(grid.size))
+    # Express as a Q tile when representable; otherwise fall back to
+    # constructing the RankPlacement with the closest descriptive tile.
+    if grid.pc % ranks_per_node == 0:
+        qr, qc = 1, ranks_per_node
+    elif ranks_per_node % grid.pc == 0:
+        qr, qc = ranks_per_node // grid.pc, grid.pc
+    else:
+        raise ConfigurationError(
+            f"contiguous packing of {ranks_per_node} ranks/node onto a "
+            f"{grid.pr}x{grid.pc} grid wraps rows (non-rectangular node "
+            "footprint); choose ranks_per_node dividing P_c or a multiple of it"
+        )
+    return RankPlacement(grid, qr, qc, mapping)
+
+
+def optimal_placement(grid: ProcessGrid, ranks_per_node: int) -> RankPlacement:
+    """The best square-ish tile for the given ranks/node: chooses
+    Q_r ≈ Q_c among divisor pairs compatible with the grid."""
+    best: RankPlacement | None = None
+    best_score = None
+    for qr, qc in factor_pairs(ranks_per_node):
+        if grid.pr % qr or grid.pc % qc:
+            continue
+        p = tiled_placement(grid, qr, qc)
+        # Minimize the §3.4.1 per-node volume factor Qr/Pr + Qc/Pc;
+        # break ties toward a square node grid (Eq. 2).
+        score = (qr / grid.pr + qc / grid.pc, abs(p.kr - p.kc))
+        if best_score is None or score < best_score:
+            best, best_score = p, score
+    if best is None:
+        raise ConfigurationError(
+            f"no {ranks_per_node}-rank tile divides grid {grid.pr}x{grid.pc}"
+        )
+    return best
+
+
+def enumerate_placements(n_ranks: int, ranks_per_node: int) -> list[RankPlacement]:
+    """Every (P_r, P_c, Q_r, Q_c) combination for the given totals -
+    the sweep behind the paper's Figure 3."""
+    out = []
+    for pr, pc in factor_pairs(n_ranks):
+        grid = ProcessGrid(pr, pc)
+        for qr, qc in factor_pairs(ranks_per_node):
+            if pr % qr or pc % qc:
+                continue
+            out.append(tiled_placement(grid, qr, qc))
+    return out

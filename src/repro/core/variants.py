@@ -1,0 +1,73 @@
+"""Named solver variants matching the paper's plot legends (§5.1.2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from ..errors import ConfigurationError
+from .context import SolverConfig
+
+__all__ = ["Variant", "variant_config", "VARIANT_DESCRIPTIONS"]
+
+
+class Variant(str, enum.Enum):
+    """The five configurations evaluated in the paper.
+
+    * ``BASELINE`` - Algorithm 3: bulk-synchronous, tree broadcasts,
+      launcher-default (contiguous) rank placement.
+    * ``PIPELINED`` - Algorithm 4: look-ahead pipeline overlapping
+      OuterUpdate(k) with PanelBcast(k+1); still tree broadcasts and
+      contiguous placement.
+    * ``REORDERING`` - Pipelined + optimal (K_r ≈ K_c) rank placement.
+    * ``ASYNC`` - Reordering + asynchronous ring PanelBcast: the full
+      Co-ParallelFw.
+    * ``OFFLOAD`` - Me-ParallelFw: the baseline schedule with the
+      distance matrix in host DRAM and ooGSrGemm outer products.
+    """
+
+    BASELINE = "baseline"
+    PIPELINED = "pipelined"
+    REORDERING = "reordering"
+    ASYNC = "async"
+    OFFLOAD = "offload"
+
+    @classmethod
+    def parse(cls, value: "str | Variant") -> "Variant":
+        if isinstance(value, Variant):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown variant {value!r}; choose from "
+                f"{[v.value for v in cls]}"
+            ) from None
+
+
+VARIANT_DESCRIPTIONS = {
+    Variant.BASELINE: "Algorithm 3, tree broadcasts, contiguous placement",
+    Variant.PIPELINED: "Algorithm 4 look-ahead pipeline (tree broadcasts)",
+    Variant.REORDERING: "Pipelined + optimal K_r≈K_c rank placement",
+    Variant.ASYNC: "Reordering + asynchronous ring PanelBcast (Co-ParallelFw)",
+    Variant.OFFLOAD: "Me-ParallelFw: host-resident matrix + ooGSrGemm offload",
+}
+
+
+def variant_config(variant: "str | Variant", base: SolverConfig) -> SolverConfig:
+    """Specialize a :class:`SolverConfig` for a named variant.
+
+    Placement is selected separately (it is a property of the run
+    setup, not the rank program); see
+    :func:`repro.core.driver.placement_for_variant`.
+    """
+    v = Variant.parse(variant)
+    if v is Variant.BASELINE:
+        return replace(base, pipelined=False, panel_bcast="tree", offload=False)
+    if v is Variant.PIPELINED or v is Variant.REORDERING:
+        return replace(base, pipelined=True, panel_bcast="tree", offload=False)
+    if v is Variant.ASYNC:
+        return replace(base, pipelined=True, panel_bcast="ring", async_relay=True, offload=False)
+    if v is Variant.OFFLOAD:
+        return replace(base, pipelined=False, panel_bcast="tree", offload=True)
+    raise ConfigurationError(f"unhandled variant {v}")  # pragma: no cover

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GpuOutOfMemory",
+    "NegativeCycleError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid solver / machine / grid configuration."""
+
+
+class GpuOutOfMemory(ReproError, MemoryError):
+    """A simulated GPU allocation exceeded the device's HBM capacity.
+
+    The non-offload Floyd-Warshall variants raise this when the local
+    distance matrix does not fit on the device - the "Beyond GPU
+    Memory" boundary in the paper's Figure 7.  The offload variant
+    (``Me-ParallelFw``) exists precisely to avoid it.
+    """
+
+    def __init__(self, requested: int, free: int, capacity: int, device: str = "gpu"):
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        self.device = device
+        super().__init__(
+            f"{device}: allocation of {requested} bytes exceeds free HBM "
+            f"({free} of {capacity} bytes available); use the offload "
+            "variant (Me-ParallelFw) for out-of-GPU-memory problems"
+        )
+
+
+class NegativeCycleError(ReproError, ValueError):
+    """The input graph contains a negative-weight cycle.
+
+    Floyd-Warshall's invariant (Dist[i,j] is the shortest path using
+    intermediates v_1..v_k) only holds without negative cycles; we
+    detect them by a negative diagonal entry.
+    """
+
+    def __init__(self, vertex: int, value: float):
+        self.vertex = vertex
+        self.value = value
+        super().__init__(
+            f"negative-weight cycle through vertex {vertex} (Dist[{vertex},{vertex}] = {value})"
+        )
+
+
+class ValidationError(ReproError, AssertionError):
+    """A computed result failed verification against the oracle."""

@@ -1,0 +1,20 @@
+"""Extensions implementing the paper's stated future work:
+distributed shortest-path generation and incremental Floyd-Warshall."""
+
+from .incremental import IncrementalApsp
+from .paths import (
+    NO_HOP,
+    floyd_warshall_with_paths,
+    next_hop_from_distances,
+    path_length,
+    reconstruct_path,
+)
+
+__all__ = [
+    "IncrementalApsp",
+    "floyd_warshall_with_paths",
+    "next_hop_from_distances",
+    "reconstruct_path",
+    "path_length",
+    "NO_HOP",
+]

@@ -1,0 +1,135 @@
+"""Incremental Floyd-Warshall (the paper's second future-work item).
+
+Maintains an APSP solution under edge updates:
+
+* weight *decreases* and edge insertions are absorbed in O(n²) per
+  update: a cheaper edge (u, v, c) can only create paths through it,
+  so ``dist' = dist ⊕ dist[:, u] ⊗ (c ⊗ dist[v, :])`` - one rank-1
+  (min,+) outer product;
+* weight *increases* and deletions may invalidate arbitrarily many
+  paths; they are detected and answered with a (blocked) recompute.
+
+The class keeps counters so callers can see how many updates took the
+fast path - the economics that make incremental APSP attractive for
+the paper's knowledge-graph use case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.blocked import blocked_fw
+from ..errors import NegativeCycleError
+from ..semiring.minplus import INF
+
+__all__ = ["IncrementalApsp"]
+
+
+class IncrementalApsp:
+    """An APSP solution that tracks a mutating graph."""
+
+    def __init__(self, weights: np.ndarray, block_size: int = 64):
+        w = np.array(weights, dtype=np.float64, copy=True)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError(f"weights must be square, got {w.shape}")
+        self.block_size = block_size
+        self.weights = w
+        self.dist = blocked_fw(w, min(block_size, w.shape[0]))
+        self.fast_updates = 0
+        self.recomputes = 0
+
+    @property
+    def n(self) -> int:
+        return self.weights.shape[0]
+
+    def distance(self, src: int, dst: int) -> float:
+        return float(self.dist[src, dst])
+
+    def update_edge(self, u: int, v: int, weight: float) -> bool:
+        """Set the weight of edge (u, v); returns True when the O(n²)
+        fast path sufficed, False when a full recompute ran."""
+        n = self.n
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) outside vertex range [0, {n})")
+        if u == v:
+            if weight < 0:
+                raise NegativeCycleError(u, weight)
+            return True  # self-loops never shorten simple paths
+        old = self.weights[u, v]
+        self.weights[u, v] = weight
+        if weight <= old:
+            self._absorb_decrease(u, v, weight)
+            self.fast_updates += 1
+            return True
+        # Increase: only expensive if some shortest path used (u, v).
+        if not self._edge_on_some_path(u, v, old):
+            self.fast_updates += 1
+            return True
+        self.dist = blocked_fw(self.weights, min(self.block_size, n))
+        self.recomputes += 1
+        return False
+
+    def insert_edge(self, u: int, v: int, weight: float) -> bool:
+        """Add (or cheapen) an edge; always the fast path."""
+        return self.update_edge(u, v, min(weight, float(self.weights[u, v])))
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete an edge (set to +inf); recomputes if it carried any
+        shortest path."""
+        return self.update_edge(u, v, INF)
+
+    def batch_update(self, updates: list[tuple[int, int, float]]) -> int:
+        """Apply many edge updates, coalescing recomputes.
+
+        Decreases are absorbed immediately (each O(n²)); increases are
+        staged, and at most *one* recompute runs at the end if any
+        staged increase actually carried a shortest path.  Returns the
+        number of updates that needed the recompute (0 when everything
+        took the fast path).
+        """
+        expensive = 0
+        staged_increase = False
+        for u, v, weight in updates:
+            n = self.n
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) outside vertex range [0, {n})")
+            if u == v:
+                if weight < 0:
+                    raise NegativeCycleError(u, weight)
+                continue
+            old = float(self.weights[u, v])
+            self.weights[u, v] = weight
+            if weight <= old:
+                self._absorb_decrease(u, v, weight)
+                self.fast_updates += 1
+            else:
+                if self._edge_on_some_path(u, v, old):
+                    staged_increase = True
+                    expensive += 1
+                else:
+                    self.fast_updates += 1
+        if staged_increase:
+            from ..core.blocked import blocked_fw
+
+            self.dist = blocked_fw(self.weights, min(self.block_size, self.n))
+            self.recomputes += 1
+        return expensive
+
+    # -- internals -------------------------------------------------------
+    def _absorb_decrease(self, u: int, v: int, c: float) -> None:
+        """dist ← dist ⊕ (dist[:, u] + c + dist[v, :]) - every pair can
+        route through the cheapened edge."""
+        via = self.dist[:, u, None] + (c + self.dist[None, v, :])
+        np.minimum(self.dist, via, out=self.dist)
+        neg = np.diagonal(self.dist) < 0
+        if neg.any():
+            w = int(np.flatnonzero(neg)[0])
+            raise NegativeCycleError(w, float(self.dist[w, w]))
+
+    def _edge_on_some_path(self, u: int, v: int, old_weight: float) -> bool:
+        """Did any pair's shortest distance equal a route through
+        (u, v) at its old weight?"""
+        if not np.isfinite(old_weight):
+            return False
+        via = self.dist[:, u, None] + (old_weight + self.dist[None, v, :])
+        return bool(np.any(np.isclose(via, self.dist) & np.isfinite(self.dist)))

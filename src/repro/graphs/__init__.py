@@ -1,0 +1,48 @@
+"""Graph generators, IO, reference algorithms and validation oracles."""
+
+from .generators import (
+    banded_graph,
+    erdos_renyi,
+    from_edge_list,
+    grid_road_network,
+    power_law_graph,
+    ring_of_cliques,
+    uniform_random_dense,
+)
+from .io import load_edge_list, load_matrix, save_edge_list, save_matrix
+from .reference_algorithms import (
+    apsp_dijkstra,
+    bellman_ford,
+    dijkstra,
+    estimated_fw_ops,
+    estimated_johnson_ops,
+    johnson,
+)
+from .validation import (
+    assert_matches_oracle,
+    check_apsp_invariants,
+    scipy_floyd_warshall,
+)
+
+__all__ = [
+    "uniform_random_dense",
+    "erdos_renyi",
+    "grid_road_network",
+    "ring_of_cliques",
+    "power_law_graph",
+    "banded_graph",
+    "from_edge_list",
+    "save_matrix",
+    "load_matrix",
+    "save_edge_list",
+    "load_edge_list",
+    "dijkstra",
+    "bellman_ford",
+    "johnson",
+    "apsp_dijkstra",
+    "estimated_johnson_ops",
+    "estimated_fw_ops",
+    "scipy_floyd_warshall",
+    "assert_matches_oracle",
+    "check_apsp_invariants",
+]

@@ -1,0 +1,199 @@
+"""Graph generators producing (min,+) weight matrices.
+
+The paper's entire evaluation uses dense uniform random matrices
+(§5.1.4); the other generators back the example applications (knowledge
+graphs, road networks) and the test suite's edge cases.
+
+Conventions: the returned matrix ``w`` has ``w[i, j]`` = weight of edge
+i→j, ``inf`` where there is no edge, and a zero diagonal (standard APSP
+initialization).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..semiring.minplus import INF
+
+__all__ = [
+    "uniform_random_dense",
+    "erdos_renyi",
+    "grid_road_network",
+    "ring_of_cliques",
+    "power_law_graph",
+    "banded_graph",
+    "from_edge_list",
+]
+
+
+def _finish(w: np.ndarray, symmetric: bool) -> np.ndarray:
+    if symmetric:
+        w = np.minimum(w, w.T)
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def uniform_random_dense(
+    n: int,
+    *,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: Optional[int] = None,
+    symmetric: bool = False,
+    dtype=np.float64,
+) -> np.ndarray:
+    """A dense uniform random weight matrix - the paper's test input."""
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(low, high, (n, n)).astype(dtype)
+    return _finish(w, symmetric)
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: Optional[int] = None,
+    symmetric: bool = False,
+    dtype=np.float64,
+) -> np.ndarray:
+    """G(n, p) with uniform weights; missing edges are +inf."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(low, high, (n, n)).astype(dtype)
+    mask = rng.random((n, n)) >= p
+    w[mask] = INF
+    return _finish(w, symmetric)
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    seed: Optional[int] = None,
+    base_cost: float = 1.0,
+    jitter: float = 0.5,
+    diagonal_prob: float = 0.15,
+    dtype=np.float64,
+) -> np.ndarray:
+    """A rows x cols street grid with jittered travel times and
+    occasional diagonal shortcuts - the traffic-routing workload of the
+    examples.  Vertices number row-major; edges are bidirectional with
+    independently drawn directional costs (one-way asymmetry)."""
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    w = np.full((n, n), INF, dtype=dtype)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    def connect(a: int, bidx: int) -> None:
+        w[a, bidx] = base_cost + rng.uniform(0, jitter)
+        w[bidx, a] = base_cost + rng.uniform(0, jitter)
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                connect(vid(r, c), vid(r, c + 1))
+            if r + 1 < rows:
+                connect(vid(r, c), vid(r + 1, c))
+            if r + 1 < rows and c + 1 < cols and rng.random() < diagonal_prob:
+                connect(vid(r, c), vid(r + 1, c + 1))
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def ring_of_cliques(
+    n_cliques: int,
+    clique_size: int,
+    *,
+    intra: float = 1.0,
+    inter: float = 5.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Cliques joined in a ring - a worst case for panel broadcasts in
+    the distributed solver and a classic community-structure test."""
+    n = n_cliques * clique_size
+    w = np.full((n, n), INF, dtype=dtype)
+    for c in range(n_cliques):
+        lo = c * clique_size
+        w[lo : lo + clique_size, lo : lo + clique_size] = intra
+        nxt = ((c + 1) % n_cliques) * clique_size
+        w[lo, nxt] = inter
+        w[nxt, lo] = inter
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def power_law_graph(
+    n: int,
+    *,
+    exponent: float = 2.3,
+    mean_degree: float = 8.0,
+    low: float = 1.0,
+    high: float = 10.0,
+    seed: Optional[int] = None,
+    dtype=np.float64,
+) -> np.ndarray:
+    """A Chung-Lu style power-law graph: edge (i, j) appears with
+    probability ∝ d_i d_j for power-law expected degrees d.  The
+    knowledge-graph-like workload of the examples (hubs + long tail)."""
+    rng = np.random.default_rng(seed)
+    # Expected degrees d_i ∝ (i+1)^(-1/(exponent-1)), scaled to the mean.
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    d = ranks ** (-1.0 / (exponent - 1.0))
+    d *= mean_degree * n / d.sum()
+    s = d.sum()
+    prob = np.minimum(1.0, np.outer(d, d) / s)
+    mask = rng.random((n, n)) < prob
+    w = np.full((n, n), INF, dtype=dtype)
+    weights = rng.uniform(low, high, (n, n))
+    w[mask] = weights[mask]
+    return _finish(w, symmetric=False)
+
+
+def banded_graph(
+    n: int,
+    bandwidth: int,
+    *,
+    low: float = 1.0,
+    high: float = 4.0,
+    seed: Optional[int] = None,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Edges only between vertices within ``bandwidth`` of each other -
+    long shortest paths (diameter ~ n / bandwidth), stressing the FW
+    iteration chain."""
+    rng = np.random.default_rng(seed)
+    w = np.full((n, n), INF, dtype=dtype)
+    for off in range(1, bandwidth + 1):
+        vals = rng.uniform(low, high, n - off)
+        idx = np.arange(n - off)
+        w[idx, idx + off] = vals
+        w[idx + off, idx] = rng.uniform(low, high, n - off)
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def from_edge_list(
+    n: int,
+    edges: list[tuple[int, int, float]],
+    *,
+    symmetric: bool = False,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Build a weight matrix from (src, dst, weight) triples; parallel
+    edges keep the minimum weight."""
+    w = np.full((n, n), INF, dtype=dtype)
+    for u, v, wt in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) outside vertex range [0, {n})")
+        w[u, v] = min(w[u, v], wt)
+        if symmetric:
+            w[v, u] = min(w[v, u], wt)
+    np.fill_diagonal(w, 0.0)
+    return w

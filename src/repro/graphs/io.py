@@ -1,0 +1,64 @@
+"""Weight-matrix persistence: .npz matrices and text edge lists."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .generators import from_edge_list
+
+__all__ = ["save_matrix", "load_matrix", "save_edge_list", "load_edge_list"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_matrix(path: PathLike, weights: np.ndarray, **metadata) -> None:
+    """Save a weight matrix (and optional scalar metadata) as .npz."""
+    np.savez_compressed(path, weights=weights, **metadata)
+
+
+def load_matrix(path: PathLike) -> np.ndarray:
+    """Load a weight matrix saved by :func:`save_matrix`."""
+    with np.load(path) as data:
+        return np.array(data["weights"])
+
+
+def save_edge_list(path: PathLike, weights: np.ndarray, comment: str = "") -> None:
+    """Write finite off-diagonal entries as ``src dst weight`` lines.
+
+    The header records the vertex count so sparse graphs round-trip
+    isolated vertices.
+    """
+    n = weights.shape[0]
+    with open(path, "w", encoding="utf-8") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write(f"# vertices {n}\n")
+        src, dst = np.nonzero(np.isfinite(weights))
+        for u, v in zip(src, dst):
+            if u != v:
+                fh.write(f"{u} {v} {float(weights[u, v])!r}\n")
+
+
+def load_edge_list(path: PathLike) -> np.ndarray:
+    """Read a file written by :func:`save_edge_list` back to a matrix."""
+    n = None
+    edges: list[tuple[int, int, float]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    n = int(parts[1])
+                continue
+            u, v, w = line.split()
+            edges.append((int(u), int(v), float(w)))
+    if n is None:
+        n = 1 + max((max(u, v) for u, v, _ in edges), default=-1)
+    return from_edge_list(n, edges)

@@ -1,0 +1,145 @@
+"""Classic shortest-path algorithms for comparison and validation.
+
+The paper's related-work section positions Floyd-Warshall against
+Johnson's algorithm (Dijkstra from every source) and Bellman-Ford;
+these are full from-scratch implementations used as oracles on sparse
+inputs and by the examples to reproduce the FW-vs-Johnson trade-off
+discussion (paper §6: Johnson wins asymptotically on sparse graphs but
+does not map to GPUs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NegativeCycleError
+from ..semiring.minplus import INF
+
+__all__ = [
+    "dijkstra",
+    "bellman_ford",
+    "johnson",
+    "apsp_dijkstra",
+    "estimated_johnson_ops",
+    "estimated_fw_ops",
+]
+
+
+def _adjacency(weights: np.ndarray) -> list[list[tuple[int, float]]]:
+    """Dense matrix -> adjacency lists, skipping inf and self loops."""
+    n = weights.shape[0]
+    adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for u in range(n):
+        row = weights[u]
+        for v in np.flatnonzero(np.isfinite(row)):
+            if v != u:
+                adj[u].append((int(v), float(row[v])))
+    return adj
+
+
+def dijkstra(
+    weights: np.ndarray, source: int, adj: Optional[list[list[tuple[int, float]]]] = None
+) -> np.ndarray:
+    """Single-source shortest paths with a binary heap.
+
+    Requires non-negative weights (checked lazily: a negative edge pop
+    raises ``ValueError``).
+    """
+    n = weights.shape[0]
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} outside [0, {n})")
+    if adj is None:
+        adj = _adjacency(weights)
+    dist = np.full(n, INF)
+    dist[source] = 0.0
+    done = np.zeros(n, dtype=bool)
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v, wuv in adj[u]:
+            if wuv < 0:
+                raise ValueError("Dijkstra requires non-negative edge weights")
+            nd = d + wuv
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def bellman_ford(weights: np.ndarray, source: int) -> np.ndarray:
+    """Single-source shortest paths tolerating negative edges.
+
+    Vectorized edge relaxation (one pass = one (min,+) matrix-vector
+    product), up to n-1 rounds with early exit; a further improving
+    round means a negative cycle.
+    """
+    n = weights.shape[0]
+    dist = np.full(n, INF)
+    dist[source] = 0.0
+    wt = weights.T  # wt[v, u] = w(u -> v)
+    for _ in range(n - 1):
+        relaxed = np.min(wt + dist[None, :], axis=1)
+        new = np.minimum(dist, relaxed)
+        if np.array_equal(new, dist):
+            return new
+        dist = new
+    final = np.minimum(dist, np.min(wt + dist[None, :], axis=1))
+    if not np.array_equal(final, dist):
+        v = int(np.flatnonzero(final < dist)[0])
+        raise NegativeCycleError(v, float(final[v] - dist[v]))
+    return dist
+
+
+def johnson(weights: np.ndarray) -> np.ndarray:
+    """Johnson's APSP: one Bellman-Ford reweighting pass + Dijkstra
+    from every source.  O(mn + n² log n) with a binary heap; the
+    asymptotically-better choice for sparse graphs (paper §6)."""
+    n = weights.shape[0]
+    # Virtual source connected to every vertex with weight 0: its
+    # Bellman-Ford potentials h satisfy h[v] <= h[u] + w(u, v).
+    aug = np.full((n + 1, n + 1), INF)
+    aug[:n, :n] = weights
+    aug[n, :n] = 0.0
+    np.fill_diagonal(aug, 0.0)
+    h = bellman_ford(aug, n)[:n]
+    if not np.all(np.isfinite(h)):
+        # Unreachable from the virtual source is impossible; guard anyway.
+        h = np.where(np.isfinite(h), h, 0.0)
+    reweighted = weights + h[:, None] - h[None, :]
+    np.fill_diagonal(reweighted, 0.0)
+    adj = _adjacency(reweighted)
+    out = np.empty((n, n))
+    for s in range(n):
+        out[s] = dijkstra(reweighted, s, adj=adj) - h[s] + h
+    return out
+
+
+def apsp_dijkstra(weights: np.ndarray) -> np.ndarray:
+    """APSP by running Dijkstra from every source (valid for
+    non-negative weights; this is Johnson's algorithm without the
+    reweighting pass)."""
+    n = weights.shape[0]
+    adj = _adjacency(weights)
+    out = np.empty((n, n))
+    for s in range(n):
+        out[s] = dijkstra(weights, s, adj=adj)
+    return out
+
+
+def estimated_johnson_ops(n: int, m: int) -> float:
+    """Rough operation count for Johnson's algorithm:
+    ``mn + n² log n`` (Fibonacci-heap bound the paper quotes)."""
+    import math
+
+    return m * n + n * n * max(1.0, math.log2(max(n, 2)))
+
+
+def estimated_fw_ops(n: int) -> float:
+    """Floyd-Warshall operation count, ``2 n³``."""
+    return 2.0 * float(n) ** 3

@@ -1,0 +1,75 @@
+"""Cross-validation of distance matrices against independent oracles.
+
+The paper's §5.1 states "we experimentally confirmed that the output of
+our revised implementations match outputs of the sequential
+Floyd-Warshall baseline"; these helpers are how the test suite and the
+``validate=True`` driver path make the same confirmation, plus checks
+against SciPy and structural invariants that hold for any valid APSP
+result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from ..errors import ValidationError
+
+__all__ = [
+    "scipy_floyd_warshall",
+    "assert_matches_oracle",
+    "check_apsp_invariants",
+]
+
+
+def scipy_floyd_warshall(weights: np.ndarray) -> np.ndarray:
+    """SciPy's Floyd-Warshall as an independent oracle.
+
+    SciPy encodes "no edge" as an absent entry of a sparse graph, so
+    inf weights are translated before the call.
+    """
+    dense = np.where(np.isinf(weights), 0.0, weights)
+    graph = csgraph.csgraph_from_dense(dense, null_value=0.0)
+    return csgraph.floyd_warshall(graph, directed=True)
+
+
+def assert_matches_oracle(
+    dist: np.ndarray, oracle: np.ndarray, rtol: float = 1e-9, atol: float = 1e-9
+) -> None:
+    """Raise :class:`ValidationError` with a useful diff on mismatch."""
+    if dist.shape != oracle.shape:
+        raise ValidationError(f"shape mismatch: {dist.shape} vs {oracle.shape}")
+    close = np.isclose(dist, oracle, rtol=rtol, atol=atol) | (
+        np.isinf(dist) & np.isinf(oracle)
+    )
+    if not close.all():
+        bad = np.argwhere(~close)
+        i, j = bad[0]
+        raise ValidationError(
+            f"{len(bad)} mismatching entries; first at ({i}, {j}): "
+            f"{dist[i, j]!r} vs oracle {oracle[i, j]!r}"
+        )
+
+
+def check_apsp_invariants(weights: np.ndarray, dist: np.ndarray) -> None:
+    """Structural properties any APSP result must satisfy:
+
+    1. ``dist <= weights`` elementwise (a direct edge is a path);
+    2. zero diagonal (no negative cycles assumed);
+    3. triangle inequality ``dist[i,j] <= dist[i,k] + dist[k,j]``;
+    4. idempotence: one more relaxation sweep changes nothing.
+    """
+    if not np.all(dist <= weights + 1e-9):
+        raise ValidationError("distance exceeds direct edge weight somewhere")
+    if not np.allclose(np.diagonal(dist), 0.0):
+        raise ValidationError("diagonal of APSP result is not zero")
+    n = dist.shape[0]
+    for k in range(n):
+        via = dist[:, k, None] + dist[None, k, :]
+        if not np.all(dist <= via + 1e-9):
+            raise ValidationError(f"triangle inequality violated via vertex {k}")
+    relaxed = dist.copy()
+    for k in range(n):
+        np.minimum(relaxed, relaxed[:, k, None] + relaxed[None, k, :], out=relaxed)
+    if not np.allclose(np.where(np.isinf(dist), 0, dist), np.where(np.isinf(relaxed), 0, relaxed)):
+        raise ValidationError("APSP result is not a fixed point of relaxation")

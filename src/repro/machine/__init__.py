@@ -1,0 +1,50 @@
+"""Simulated machine model: specs, costs, GPUs, hosts, nodes, cluster.
+
+This is the hardware substrate the distributed Floyd-Warshall variants
+run on.  Constants default to the paper's testbed (Summit, §5.1.1) and
+every cost charged during simulation is derived from
+:class:`~repro.machine.cost.CostModel`.
+"""
+
+from .cluster import SimCluster, SimNode
+from .cost import DEFAULT_ITEMSIZE, CostModel
+from .gpu import CudaStream, SimGPU
+from .host import HostCpu
+from .spec import (
+    FRONTIER_LIKE,
+    FRONTIER_NODE,
+    MACHINES,
+    MI250X_GCD,
+    PCIE_GPU,
+    SUMMIT,
+    SUMMIT_NODE,
+    V100,
+    WORKSTATION,
+    GpuSpec,
+    MachineSpec,
+    NodeSpec,
+    scaled_down,
+)
+
+__all__ = [
+    "SimCluster",
+    "SimNode",
+    "CostModel",
+    "DEFAULT_ITEMSIZE",
+    "SimGPU",
+    "CudaStream",
+    "HostCpu",
+    "GpuSpec",
+    "NodeSpec",
+    "MachineSpec",
+    "V100",
+    "SUMMIT",
+    "SUMMIT_NODE",
+    "FRONTIER_LIKE",
+    "FRONTIER_NODE",
+    "MI250X_GCD",
+    "PCIE_GPU",
+    "WORKSTATION",
+    "MACHINES",
+    "scaled_down",
+]

@@ -1,0 +1,183 @@
+"""Simulated GPU: HBM accounting, engines, and CUDA streams.
+
+The model mirrors what the paper's offload scheme (§4.3-§4.4) relies
+on in real hardware:
+
+* one *kernel engine* - SrGemm kernels serialize on the device;
+* independent *copy engines* for host-to-device and device-to-host, so
+  transfers overlap kernels (and each other) exactly as cudaMemcpyAsync
+  on separate streams would;
+* *streams* - in-order queues of operations; operations on different
+  streams overlap subject to engine availability;
+* *HBM capacity accounting* - allocations are charged at virtual scale
+  and overflow raises :class:`~repro.errors.GpuOutOfMemory`, which is
+  the "Beyond GPU Memory" wall in the paper's Figure 7.
+
+Every operation optionally carries a ``fn`` callback holding the real
+NumPy computation; the simulation executes it when the operation
+completes, so numerical results are exact while time is modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import GpuOutOfMemory
+from ..sim.engine import Environment, Event
+from ..sim.resources import Resource
+from ..sim.trace import Tracer
+from .cost import CostModel
+from .spec import GpuSpec
+
+__all__ = ["SimGPU", "CudaStream"]
+
+
+class SimGPU:
+    """One simulated GPU device (may be shared by several ranks, as on
+    Summit where the paper runs 2 MPI ranks per GPU)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: GpuSpec,
+        cost: CostModel,
+        name: str = "gpu0",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.cost = cost
+        self.name = name
+        self.tracer = tracer
+        self.kernel_engine = Resource(env, 1, f"{name}.kernel")
+        self.h2d_engine = Resource(env, 1, f"{name}.h2d")
+        self.d2h_engine = Resource(env, 1, f"{name}.d2h")
+        self._allocated = 0
+        self.peak_allocated = 0
+        self._stream_count = 0
+
+    # -- memory ----------------------------------------------------------
+    @property
+    def allocated(self) -> int:
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.hbm_bytes - self._allocated
+
+    def alloc(self, nbytes: int, what: str = "buffer") -> int:
+        """Charge ``nbytes`` (virtual) of HBM; raise when over capacity."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"negative allocation for {what}: {nbytes}")
+        if self._allocated + nbytes > self.spec.hbm_bytes:
+            raise GpuOutOfMemory(nbytes, self.free_bytes, self.spec.hbm_bytes, device=self.name)
+        self._allocated += nbytes
+        self.peak_allocated = max(self.peak_allocated, self._allocated)
+        return nbytes
+
+    def dealloc(self, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        if nbytes > self._allocated:
+            raise ValueError(f"freeing {nbytes} bytes but only {self._allocated} allocated")
+        self._allocated -= nbytes
+
+    # -- streams -----------------------------------------------------------
+    def stream(self, name: Optional[str] = None) -> "CudaStream":
+        self._stream_count += 1
+        return CudaStream(self, name or f"{self.name}.s{self._stream_count - 1}")
+
+
+class CudaStream:
+    """An in-order queue of GPU operations.
+
+    Submissions return immediately with an :class:`Event` that fires
+    when the operation completes, so a host process can keep issuing
+    work (the cudaStream programming model the paper's §4.3 uses).
+    """
+
+    def __init__(self, gpu: SimGPU, name: str):
+        self.gpu = gpu
+        self.name = name
+        done = Event(gpu.env)
+        done.succeed()
+        self._tail: Event = done
+
+    # -- generic submission machinery ---------------------------------------
+    def _submit(
+        self,
+        engine: Resource,
+        duration: float,
+        category: str,
+        label: str,
+        fn: Optional[Callable[[], Any]] = None,
+        after: Optional[list[Event]] = None,
+    ) -> Event:
+        env = self.gpu.env
+        prev = self._tail
+        deps = list(after) if after else []
+
+        def op():
+            yield prev  # in-order within the stream
+            for dep in deps:  # cross-stream dependencies (cudaStreamWaitEvent)
+                yield dep
+            start_req = env.now
+            yield from engine.use(duration)
+            if self.gpu.tracer is not None:
+                # The span covers engine occupancy, not queueing.
+                self.gpu.tracer.record(engine.name, category, label, env.now - duration, env.now)
+                self.gpu.tracer.add(f"{category}.time", duration)
+                self.gpu.tracer.add(f"{category}.count")
+                self.gpu.tracer.add(f"{category}.wait", env.now - duration - start_req)
+            return fn() if fn is not None else None
+
+        proc = env.process(op(), name=f"{self.name}:{label}")
+        self._tail = proc
+        return proc
+
+    # -- operations -----------------------------------------------------------
+    def kernel(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        label: str = "SrGemm",
+        fn: Optional[Callable[[], Any]] = None,
+        after: Optional[list[Event]] = None,
+    ) -> Event:
+        """Enqueue an SrGemm-shaped kernel of physical shape (m, n, k).
+
+        ``after`` adds cross-stream dependencies, the analogue of
+        ``cudaStreamWaitEvent``.
+        """
+        return self._submit(
+            self.gpu.kernel_engine, self.gpu.cost.srgemm_time(m, n, k), "SrGemm", label, fn, after
+        )
+
+    def kernel_time(
+        self, duration: float, label: str, fn: Optional[Callable[[], Any]] = None
+    ) -> Event:
+        """Enqueue a kernel with an explicitly computed duration (used
+        for the DiagUpdate squaring chain)."""
+        return self._submit(self.gpu.kernel_engine, duration, "SrGemm", label, fn)
+
+    def h2d(
+        self, rows: int, cols: int, label: str = "h2dXfer", fn: Optional[Callable[[], Any]] = None
+    ) -> Event:
+        """Enqueue a host-to-device copy of a physical tile."""
+        return self._submit(
+            self.gpu.h2d_engine, self.gpu.cost.h2d_time(rows, cols), "h2dXfer", label, fn
+        )
+
+    def d2h(
+        self, rows: int, cols: int, label: str = "d2hXfer", fn: Optional[Callable[[], Any]] = None
+    ) -> Event:
+        """Enqueue a device-to-host copy of a physical tile."""
+        return self._submit(
+            self.gpu.d2h_engine, self.gpu.cost.d2h_time(rows, cols), "d2hXfer", label, fn
+        )
+
+    def synchronize(self) -> Event:
+        """Event that fires when everything submitted so far completes
+        (cudaStreamSynchronize)."""
+        return self._tail

@@ -1,0 +1,89 @@
+"""Simulated host side of a node: CPU work and DRAM bandwidth.
+
+The offload algorithm's hostUpdate (``C ← C ⊕ X``) is DRAM-bandwidth
+bound (paper §4.5: t2 = 3 m n t_m); a node's ranks share one DRAM
+channel here just as they share memory controllers on Summit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim.engine import Environment
+from ..sim.resources import Resource
+from ..sim.trace import Tracer
+from .cost import CostModel
+from .spec import NodeSpec
+
+__all__ = ["HostCpu"]
+
+
+class HostCpu:
+    """CPU + DRAM model of one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: NodeSpec,
+        cost: CostModel,
+        name: str = "host0",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.cost = cost
+        self.name = name
+        self.tracer = tracer
+        #: Serializes bandwidth-bound host memory operations.
+        self.dram = Resource(env, 1, f"{name}.dram")
+        self._dram_allocated = 0
+        self.peak_dram = 0
+
+    # -- memory accounting (host DRAM is what makes offload feasible) ------
+    def alloc(self, nbytes: int, what: str = "host buffer") -> int:
+        nbytes = int(nbytes)
+        if self._dram_allocated + nbytes > self.spec.dram_bytes:
+            raise MemoryError(
+                f"{self.name}: host allocation of {nbytes} bytes for {what} exceeds "
+                f"DRAM capacity {self.spec.dram_bytes}"
+            )
+        self._dram_allocated += nbytes
+        self.peak_dram = max(self.peak_dram, self._dram_allocated)
+        return nbytes
+
+    def dealloc(self, nbytes: int) -> None:
+        self._dram_allocated -= int(nbytes)
+
+    # -- timed operations ----------------------------------------------------
+    def host_update(
+        self,
+        rows: int,
+        cols: int,
+        label: str = "hostUpdate",
+        fn: Optional[Callable[[], Any]] = None,
+    ):
+        """Generator: perform ``C ← C ⊕ X`` on an m x n tile.
+
+        Charges 3 m n bytes of DRAM traffic (2 reads + 1 write) on the
+        node's shared DRAM channel, then runs the real NumPy update.
+        """
+        duration = self.cost.host_update_time(rows, cols)
+        yield from self.dram.use(duration)
+        if self.tracer is not None:
+            self.tracer.record(self.name, "hostUpdate", label, self.env.now - duration, self.env.now)
+            self.tracer.add("hostUpdate.time", duration)
+            self.tracer.add("hostUpdate.count")
+        return fn() if fn is not None else None
+
+    def fw_diag_host(
+        self, b: int, label: str = "DiagUpdate(host)", fn: Optional[Callable[[], Any]] = None
+    ):
+        """Generator: classic Floyd-Warshall on a b x b block on the
+        host CPU (the slow path the paper's §4.2 replaces with GPU
+        squaring)."""
+        duration = self.cost.diag_update_host_time(b)
+        yield from self.dram.use(duration)
+        if self.tracer is not None:
+            self.tracer.record(self.name, "DiagUpdate", label, self.env.now - duration, self.env.now)
+            self.tracer.add("DiagUpdate.host_time", duration)
+        return fn() if fn is not None else None

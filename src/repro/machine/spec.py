@@ -1,0 +1,237 @@
+"""Hardware specifications for the simulated cluster.
+
+All paper results were measured on Summit (ORNL): 4,608 nodes, each
+with 2x IBM POWER9 + 6x NVIDIA V100 connected by NVLink-2, 512 GB of
+host DRAM, 16 GB HBM2 per GPU, and a Mellanox InfiniBand fat-tree with
+~25 GB/s effective per-node injection bandwidth (paper §5.1.1).
+
+The specs below parameterize every cost the simulator charges.  They
+are plain frozen dataclasses so tests and benchmarks can derive
+what-if machines (e.g. slower NIC, bigger HBM) with
+``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "MachineSpec",
+    "V100",
+    "SUMMIT_NODE",
+    "SUMMIT",
+    "MI250X_GCD",
+    "FRONTIER_NODE",
+    "FRONTIER_LIKE",
+    "PCIE_GPU",
+    "WORKSTATION",
+    "MACHINES",
+    "scaled_down",
+]
+
+GiB = 1024**3
+GB = 1e9
+TFLOPS = 1e12
+US = 1e-6
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU accelerator.
+
+    Attributes
+    ----------
+    name: marketing name.
+    hbm_bytes: device memory capacity.
+    srgemm_flops: sustained (min,+) SrGemm rate.  The paper's
+        CUTLASS-based kernel reaches 6.8 TF/s single precision on V100
+        (§4.1); (min,+) cannot use FMA so the relevant peak is 7.8 TF/s.
+    peak_flops: the no-FMA single-precision peak used for "percent of
+        peak" reporting.
+    hbm_bw: device memory bandwidth (bytes/s).
+    link_bw: host<->device bandwidth *per direction* (NVLink-2 on
+        Summit: 50 GB/s each way per GPU; the paper's Eq. 5 block-size
+        estimate of 624 assumes exactly this).
+    """
+
+    name: str
+    hbm_bytes: int
+    srgemm_flops: float
+    peak_flops: float
+    hbm_bw: float
+    link_bw: float
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: CPUs + DRAM + GPUs + NIC."""
+
+    name: str
+    gpu: GpuSpec
+    gpus_per_node: int
+    dram_bytes: int
+    #: Aggregate CPU<->DRAM bandwidth; bounds the offload hostUpdate
+    #: (paper §4.5: t2 = 3mn * t_m).
+    dram_bw: float
+    #: Host CPU rate for the (min,+) scalar work done on the host
+    #: (element-wise min during hostUpdate is bandwidth-bound, so this
+    #: only matters for small fallback kernels).
+    cpu_flops: float
+    #: NIC injection bandwidth (per node, shared by all ranks on the
+    #: node - the crux of §3.4.1's refined model).
+    nic_bw: float
+    #: Point-to-point message setup latency (the t_l term of Eq. 1).
+    nic_latency: float
+    #: Bandwidth for rank-to-rank traffic that stays inside the node
+    #: (shared memory / NVLink; never crosses the NIC).
+    intranode_bw: float
+    intranode_latency: float
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: homogeneous nodes plus interconnect topology."""
+
+    name: str
+    node: NodeSpec
+    max_nodes: int
+
+    @property
+    def gpu(self) -> GpuSpec:
+        return self.node.gpu
+
+    def node_peak_flops(self) -> float:
+        """Theoretical no-FMA peak of one node's GPUs."""
+        return self.node.gpus_per_node * self.node.gpu.peak_flops
+
+    def peak_flops(self, nodes: int) -> float:
+        """Theoretical no-FMA peak of ``nodes`` nodes."""
+        return nodes * self.node_peak_flops()
+
+    def srgemm_flops(self, nodes: int) -> float:
+        """Sustained SrGemm kernel rate of ``nodes`` nodes."""
+        return nodes * self.node.gpus_per_node * self.node.gpu.srgemm_flops
+
+
+#: NVIDIA Volta V100 as characterized in the paper (§5.1.1, §4.1).
+V100 = GpuSpec(
+    name="V100",
+    hbm_bytes=16 * GiB,
+    srgemm_flops=6.8 * TFLOPS,
+    peak_flops=7.85 * TFLOPS,
+    hbm_bw=900 * GB,
+    link_bw=50 * GB,
+)
+
+#: A Summit node (§5.1.1).  DRAM bandwidth: 2 POWER9 sockets at ~170
+#: GB/s sustained each.  Intranode rank-to-rank bandwidth is set so a
+#: single-node run's effective bandwidth lands above the 25 GB/s NIC
+#: line, as in the paper's Figure 3.
+SUMMIT_NODE = NodeSpec(
+    name="summit-node",
+    gpu=V100,
+    gpus_per_node=6,
+    dram_bytes=512 * GiB,
+    dram_bw=340 * GB,
+    cpu_flops=1.0 * TFLOPS,
+    nic_bw=25 * GB,
+    nic_latency=1.5 * US,
+    intranode_bw=64 * GB,
+    intranode_latency=0.5 * US,
+)
+
+#: The Summit supercomputer.
+SUMMIT = MachineSpec(name="summit", node=SUMMIT_NODE, max_nodes=4608)
+
+# ---------------------------------------------------------------------------
+# Other accelerated architectures.  The paper's §7: "our scaling results
+# on Summit should extend to other systems, and the performance models
+# we derived can guide their tuning when porting ParallelFw to any
+# accelerated architecture."  These presets exercise exactly that: same
+# algorithms, different constants, different tuning optima (tests pin
+# e.g. that the Eq. 5 offload block-size floor rises on a PCIe box).
+# ---------------------------------------------------------------------------
+
+#: One MI250X Graphics Compute Die, Frontier-style: bigger HBM, faster
+#: link to the host (Infinity Fabric), higher kernel rate.  The SrGemm
+#: rate assumes the same ~87% of the no-FMA peak achieved on V100.
+MI250X_GCD = GpuSpec(
+    name="MI250X-GCD",
+    hbm_bytes=64 * GiB,
+    srgemm_flops=20.0 * TFLOPS,
+    peak_flops=23.0 * TFLOPS,
+    hbm_bw=1600 * GB,
+    link_bw=144 * GB,
+)
+
+#: A Frontier-like node: 8 GCDs, 512 GB DRAM, Slingshot NIC.
+FRONTIER_NODE = NodeSpec(
+    name="frontier-node",
+    gpu=MI250X_GCD,
+    gpus_per_node=8,
+    dram_bytes=512 * GiB,
+    dram_bw=400 * GB,
+    cpu_flops=2.0 * TFLOPS,
+    nic_bw=100 * GB,
+    nic_latency=1.5 * US,
+    intranode_bw=150 * GB,
+    intranode_latency=0.5 * US,
+)
+
+FRONTIER_LIKE = MachineSpec(name="frontier-like", node=FRONTIER_NODE, max_nodes=9408)
+
+#: A workstation GPU on PCIe 4.0 x16: the host link is the weak point,
+#: which pushes the Eq. 5 offload block-size floor up hard.
+PCIE_GPU = GpuSpec(
+    name="pcie-gpu",
+    hbm_bytes=24 * GiB,
+    srgemm_flops=12.0 * TFLOPS,
+    peak_flops=14.0 * TFLOPS,
+    hbm_bw=900 * GB,
+    link_bw=25 * GB,
+)
+
+#: A single multi-GPU workstation ("cluster" of one node).
+WORKSTATION = MachineSpec(
+    name="workstation",
+    node=NodeSpec(
+        name="workstation-node",
+        gpu=PCIE_GPU,
+        gpus_per_node=4,
+        dram_bytes=256 * GiB,
+        dram_bw=80 * GB,
+        cpu_flops=1.0 * TFLOPS,
+        nic_bw=12.5 * GB,
+        nic_latency=2.0 * US,
+        intranode_bw=40 * GB,
+        intranode_latency=0.5 * US,
+    ),
+    max_nodes=1,
+)
+
+#: Registry of the shipped machine presets.
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (SUMMIT, FRONTIER_LIKE, WORKSTATION)
+}
+
+
+def scaled_down(
+    spec: MachineSpec,
+    hbm_bytes: Optional[int] = None,
+    gpus_per_node: Optional[int] = None,
+    name: Optional[str] = None,
+) -> MachineSpec:
+    """Derive a smaller machine (tiny HBM, fewer GPUs) for tests that
+    must hit memory limits without huge matrices."""
+    gpu = spec.node.gpu
+    if hbm_bytes is not None:
+        gpu = replace(gpu, hbm_bytes=hbm_bytes)
+    node = replace(
+        spec.node,
+        gpu=gpu,
+        gpus_per_node=gpus_per_node if gpus_per_node is not None else spec.node.gpus_per_node,
+    )
+    return replace(spec, node=node, name=name or f"{spec.name}-scaled")

@@ -1,0 +1,18 @@
+"""Simulated MPI runtime over the discrete-event cluster model."""
+
+from .collectives import barrier, bcast_ring, bcast_ring_segmented, bcast_tree, gather
+from .comm import ANY_SOURCE, ANY_TAG, Comm, Message, SimMPI, virtual_nbytes
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "Message",
+    "SimMPI",
+    "virtual_nbytes",
+    "barrier",
+    "bcast_ring",
+    "bcast_ring_segmented",
+    "bcast_tree",
+    "gather",
+]

@@ -1,0 +1,240 @@
+"""Collective operations built from point-to-point messages.
+
+Two broadcast algorithms, matching the paper's §3.3:
+
+* :func:`bcast_tree` - binomial tree, latency-optimal (``log2 P``
+  rounds).  Used for DiagBcast, whose message is small and on the
+  critical path.
+* :func:`bcast_ring` - ring relay, bandwidth-optimal (each process
+  receives and forwards the message exactly once).  Used for
+  PanelBcast by the ``+Async`` variant.  The relay is issued
+  *asynchronously*: a process returns from the collective as soon as
+  its own copy has arrived and the forward has been enqueued, which is
+  precisely what lets ``P_r(k+1)`` start the look-ahead update before
+  the broadcast completes, and lets successive broadcasts overlap
+  across iterations.
+
+Both are real message-passing programs, so their latency/bandwidth
+behaviour *emerges* from the NIC model instead of being assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.engine import Event
+from .comm import Comm
+
+__all__ = ["bcast_tree", "bcast_ring", "bcast_ring_segmented", "barrier", "gather"]
+
+
+def _binomial_children(rel: int, size: int) -> list[int]:
+    """Children of relative rank ``rel`` in a binomial broadcast tree,
+    furthest-first (the classic MPICH schedule)."""
+    if rel == 0:
+        low = 1
+        while low < size:
+            low <<= 1
+    else:
+        low = rel & -rel
+    children = []
+    mask = low >> 1
+    while mask:
+        child = rel | mask
+        if child < size and child != rel:
+            children.append(child)
+        mask >>= 1
+    return children
+
+
+def _binomial_parent(rel: int) -> int:
+    return rel & (rel - 1)  # clear lowest set bit
+
+
+def bcast_tree(comm: Comm, root: int, payload: Any = None, tag: int = 0, nbytes: Optional[float] = None):
+    """Generator: binomial-tree broadcast; returns the payload on every
+    member.  Non-root callers must pass ``payload=None``.
+
+    Sends are *blocking*, so an interior node is held until its whole
+    forwarding fan-out has drained through its NIC - the synchronizing
+    behaviour the paper attributes to the library broadcast.
+    """
+    size, me = comm.size, comm.rank
+    rel = (me - root) % size
+    if rel != 0:
+        parent = (_binomial_parent(rel) + root) % size
+        payload = yield from comm.recv(src=parent, tag=tag)
+    for child in _binomial_children(rel, size):
+        yield from comm.send((child + root) % size, payload, tag=tag, nbytes=nbytes)
+    return payload
+
+
+def bcast_ring(
+    comm: Comm,
+    root: int,
+    payload: Any = None,
+    tag: int = 0,
+    nbytes: Optional[float] = None,
+    async_relay: bool = True,
+):
+    """Generator: ring broadcast; returns ``(payload, relay_event)``.
+
+    The message travels root -> root+1 -> ... -> root-1.  With
+    ``async_relay`` (default) each process enqueues its forward with
+    ``isend`` and returns immediately, so computation proceeds while
+    the NIC relays; ``relay_event`` fires when this process's forward
+    has left the node (roots/last member get an already-fired event).
+    With ``async_relay=False`` the relay is blocking, which makes the
+    collective behave like a store-and-forward chain (useful as an
+    ablation).
+    """
+    size, me = comm.size, comm.rank
+    rel = (me - root) % size
+    if rel != 0:
+        payload = yield from comm.recv(src=(me - 1) % size, tag=tag)
+    done: Event
+    if rel != size - 1 and size > 1:
+        nxt = (me + 1) % size
+        if async_relay:
+            done = comm.isend(nxt, payload, tag=tag, nbytes=nbytes)
+        else:
+            yield from comm.send(nxt, payload, tag=tag, nbytes=nbytes)
+            done = comm.env.event()
+            done.succeed()
+    else:
+        done = comm.env.event()
+        done.succeed()
+    return payload, done
+
+
+def bcast_ring_segmented(
+    comm: Comm,
+    root: int,
+    payload: Any = None,
+    tag: int = 0,
+    segments: int = 4,
+    nbytes: Optional[float] = None,
+):
+    """Generator: pipelined (segmented) ring broadcast, HPL-style.
+
+    The message is cut into ``segments`` chunks relayed independently,
+    so the ring's end-to-end makespan drops from ``(P-1)·B`` toward
+    ``(P-1+S)·B/S`` - large-message latency close to the bandwidth
+    bound, at the cost of S times the per-message setup.  This is the
+    natural extension of the paper's §3.3 ring (its broadcast is
+    unsegmented); ``benchmarks/bench_ablation_ring_segments.py``
+    quantifies the trade.
+
+    Returns ``(payload, relay_event)`` like :func:`bcast_ring`; the
+    relay event fires when all of this member's forwards are enqueued
+    complete.  Payloads must be picklable structures of arrays or
+    ``None``; chunking is by top-level item for dicts/lists and by rows
+    for a single array.
+    """
+    size, me = comm.size, comm.rank
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if segments == 1 or size == 1:
+        result = yield from bcast_ring(comm, root, payload, tag=tag, nbytes=nbytes)
+        return result
+    rel = (me - root) % size
+    base_tag = tag << 4  # sub-tags per segment; keep caller tags distinct
+
+    def split(p: Any) -> list[Any]:
+        import numpy as np
+
+        if isinstance(p, dict):
+            keys = list(p.keys())
+            if not keys:
+                return [p]
+            step = -(-len(keys) // segments)
+            return [
+                {k: p[k] for k in keys[i : i + step]} for i in range(0, len(keys), step)
+            ]
+        if isinstance(p, np.ndarray) and p.ndim >= 1 and p.shape[0] >= segments:
+            return list(np.array_split(p, segments, axis=0))
+        if isinstance(p, (list, tuple)) and len(p) >= segments:
+            step = -(-len(p) // segments)
+            return [p[i : i + step] for i in range(0, len(p), step)]
+        return [p]  # not splittable; degenerate to one segment
+
+    def join(chunks: list[Any]) -> Any:
+        import numpy as np
+
+        if all(isinstance(c, dict) for c in chunks):
+            out: dict = {}
+            for c in chunks:
+                out.update(c)
+            return out
+        if all(isinstance(c, np.ndarray) for c in chunks):
+            return np.concatenate(chunks, axis=0)
+        if len(chunks) == 1:
+            return chunks[0]
+        joined: list = []
+        for c in chunks:
+            joined.extend(c)
+        return joined
+
+    relays: list[Event] = []
+    if rel == 0:
+        # The protocol always carries exactly `segments` messages;
+        # short splits are padded with None so every member's receive
+        # loop is uniform.
+        chunks = split(payload)
+        chunks += [None] * (segments - len(chunks))
+        for i, chunk in enumerate(chunks):
+            relays.append(comm.isend((me + 1) % size, chunk, tag=base_tag + i))
+        got = payload
+    else:
+        received = []
+        # Receive segments in order; forward each the moment it lands
+        # (the pipelining that cuts the ring's makespan).
+        for i in range(segments):
+            chunk = yield from comm.recv(src=(me - 1) % size, tag=base_tag + i)
+            received.append(chunk)
+            if rel != size - 1:
+                relays.append(comm.isend((me + 1) % size, chunk, tag=base_tag + i))
+        real = [c for c in received if c is not None]
+        got = join(real) if real else None
+    done: Event
+    if relays:
+        done = comm.env.all_of(relays)
+    else:
+        done = comm.env.event()
+        done.succeed()
+    return got, done
+
+
+def barrier(comm: Comm, tag: int = -7):
+    """Generator: dissemination barrier (``ceil(log2 P)`` rounds of
+    tiny messages)."""
+    size, me = comm.size, comm.rank
+    if size == 1:
+        return
+    dist = 1
+    round_no = 0
+    while dist < size:
+        dst = (me + dist) % size
+        src = (me - dist) % size
+        t = (tag, round_no)
+        send_ev = comm.isend(dst, None, tag=hash(t) & 0x7FFFFFFF)
+        yield from comm.recv(src=src, tag=hash(t) & 0x7FFFFFFF)
+        yield send_ev
+        dist <<= 1
+        round_no += 1
+
+
+def gather(comm: Comm, root: int, payload: Any, tag: int = -9):
+    """Generator: gather every member's payload at ``root``; returns the
+    list (ordered by local rank) at the root, ``None`` elsewhere."""
+    size, me = comm.size, comm.rank
+    if me == root:
+        out: list[Any] = [None] * size
+        out[root] = payload
+        for _ in range(size - 1):
+            msg = yield from comm.recv_message(tag=tag)
+            local_src = comm.world_ranks.index(msg.src)
+            out[local_src] = msg.payload
+        return out
+    yield from comm.send(root, payload, tag=tag)
+    return None

@@ -1,0 +1,241 @@
+"""Simulated MPI: ranks, mailboxes, communicators, point-to-point.
+
+Rank *programs* are Python generators running on the
+:class:`~repro.sim.engine.Environment`; they talk through an MPI-like
+API whose costs are charged by the :class:`~repro.machine.cluster.SimCluster`
+(NIC occupancy, intranode channel, latency).  Payloads are real NumPy
+arrays, so the distributed algorithms compute real answers.
+
+Semantics (close to eager-mode MPI over a bandwidth-serialized NIC):
+
+* ``send`` blocks the caller for its share of NIC occupancy (messages
+  from one node serialize on that node's NIC), then the message is
+  delivered ``latency`` later; the receiver's ``recv`` matches on
+  (source, tag) like MPI envelopes.
+* ``isend`` does the same in a spawned child process and returns an
+  event, enabling the sender to overlap (used by the ring broadcast's
+  relay and by the pipelined schedule).
+* Array payloads are copied at send time (eager buffering) so a sender
+  mutating its block in a later iteration can never corrupt a message
+  in flight - the exact hazard the pipelined/asynchronous schedules
+  would otherwise create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..machine.cluster import SimCluster
+from ..sim.engine import Environment, Event
+from ..sim.resources import FilterStore
+from ..sim.trace import Tracer
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "SimMPI", "Comm", "virtual_nbytes"]
+
+#: Wildcards for :meth:`Comm.recv` matching.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """An MPI envelope + payload, as stored in a rank's mailbox."""
+
+    src: int  # world rank of the sender
+    tag: int
+    payload: Any
+    nbytes: float  # virtual bytes, for accounting
+    sent_at: float
+    delivered_at: float
+
+
+def _copy_payload(payload: Any) -> Any:
+    """Deep-copy the ndarray leaves of a payload (eager buffering)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, (list, tuple)):
+        return type(payload)(_copy_payload(p) for p in payload)
+    if isinstance(payload, dict):
+        return {k: _copy_payload(v) for k, v in payload.items()}
+    return payload
+
+
+class SimMPI:
+    """The world: mailboxes plus the rank -> node mapping."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: SimCluster,
+        rank_to_node: Sequence[int],
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.rank_to_node = list(rank_to_node)
+        self.tracer = tracer
+        for node in self.rank_to_node:
+            if not 0 <= node < len(cluster):
+                raise ConfigurationError(f"rank mapped to nonexistent node {node}")
+        self.size = len(self.rank_to_node)
+        self._mailboxes = [FilterStore(env, name=f"mbox{r}") for r in range(self.size)]
+        #: Total virtual bytes sent, by (intra, inter) node.
+        self.bytes_internode = 0.0
+        self.bytes_intranode = 0.0
+        self.message_count = 0
+
+    def virtual_nbytes(self, payload: Any) -> float:
+        return virtual_nbytes(payload, self.cluster.cost)
+
+    def node_of(self, world_rank: int) -> int:
+        return self.rank_to_node[world_rank]
+
+    def world(self) -> "Comm":
+        """COMM_WORLD as seen from no particular rank; use
+        :meth:`Comm.localize` per rank program."""
+        return Comm(self, tuple(range(self.size)), me=None)
+
+    # -- transport ---------------------------------------------------------
+    def _send(self, src: int, dst: int, payload: Any, tag: int, nbytes: Optional[float]):
+        """Generator: the actual transport (runs in sender context)."""
+        if nbytes is None:
+            nbytes = self.virtual_nbytes(payload)
+        sent_at = self.env.now
+        src_node, dst_node = self.rank_to_node[src], self.rank_to_node[dst]
+        buffered = _copy_payload(payload)
+        yield from self.cluster.transfer(
+            src_node, dst_node, nbytes, label=f"r{src}->r{dst} t{tag}"
+        )
+        if src_node == dst_node:
+            self.bytes_intranode += nbytes
+        else:
+            self.bytes_internode += nbytes
+        self.message_count += 1
+        self._mailboxes[dst].put(
+            Message(src, tag, buffered, nbytes, sent_at, self.env.now)
+        )
+
+
+class Comm:
+    """An ordered group of world ranks, localized to one member.
+
+    ``rank``/``size`` and all src/dst arguments are *communicator-local*
+    indices, exactly like MPI communicators.  Sub-communicators (a
+    process row or column of the 2-D grid) are just other ``Comm``
+    instances over the same :class:`SimMPI`.
+    """
+
+    def __init__(self, mpi: SimMPI, world_ranks: tuple[int, ...], me: Optional[int]):
+        if len(set(world_ranks)) != len(world_ranks):
+            raise ConfigurationError(f"duplicate ranks in communicator: {world_ranks}")
+        self.mpi = mpi
+        self.world_ranks = world_ranks
+        #: This member's world rank (None for an unlocalized handle).
+        self.me_world = me
+        self._index = {w: i for i, w in enumerate(world_ranks)}
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    @property
+    def rank(self) -> int:
+        """My communicator-local rank."""
+        if self.me_world is None:
+            raise ConfigurationError("communicator not localized to a rank")
+        return self._index[self.me_world]
+
+    @property
+    def env(self) -> Environment:
+        return self.mpi.env
+
+    def localize(self, world_rank: int) -> "Comm":
+        """The same group, seen from ``world_rank`` (must be a member)."""
+        if world_rank not in self._index:
+            raise ConfigurationError(f"rank {world_rank} not in communicator {self.world_ranks}")
+        return Comm(self.mpi, self.world_ranks, me=world_rank)
+
+    def subgroup(self, local_ranks: Sequence[int]) -> "Comm":
+        """A new (unlocalized) communicator from local indices."""
+        return Comm(self.mpi, tuple(self.world_ranks[i] for i in local_ranks), me=None)
+
+    def to_world(self, local: int) -> int:
+        return self.world_ranks[local]
+
+    # -- point to point -----------------------------------------------------
+    def send(self, dst: int, payload: Any, tag: int = 0, nbytes: Optional[float] = None):
+        """Generator: blocking send to communicator-local ``dst``."""
+        yield from self.mpi._send(
+            self.me_world, self.world_ranks[dst], payload, tag, nbytes
+        )
+
+    def isend(self, dst: int, payload: Any, tag: int = 0, nbytes: Optional[float] = None) -> Event:
+        """Non-blocking send; returns the completion event."""
+        return self.env.process(
+            self.send(dst, payload, tag, nbytes),
+            name=f"isend r{self.me_world}->l{dst} t{tag}",
+        )
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: blocking receive; returns the payload.
+
+        ``src`` is communicator-local (or :data:`ANY_SOURCE`); matching
+        is FIFO among messages that satisfy (src, tag).
+        """
+        me = self.me_world
+        if me is None:
+            raise ConfigurationError("recv on unlocalized communicator")
+        want_src_world = None if src == ANY_SOURCE else self.world_ranks[src]
+        member_worlds = set(self.world_ranks)
+
+        def match(msg: Message) -> bool:
+            if want_src_world is not None and msg.src != want_src_world:
+                return False
+            if want_src_world is None and msg.src not in member_worlds:
+                return False
+            if tag != ANY_TAG and msg.tag != tag:
+                return False
+            return True
+
+        msg = yield self.mpi._mailboxes[me].get(match)
+        return msg.payload
+
+    def recv_message(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Like :meth:`recv` but returns the full :class:`Message`."""
+        me = self.me_world
+        want_src_world = None if src == ANY_SOURCE else self.world_ranks[src]
+        member_worlds = set(self.world_ranks)
+
+        def match(msg: Message) -> bool:
+            if want_src_world is not None and msg.src != want_src_world:
+                return False
+            if want_src_world is None and msg.src not in member_worlds:
+                return False
+            if tag != ANY_TAG and msg.tag != tag:
+                return False
+            return True
+
+        msg = yield self.mpi._mailboxes[me].get(match)
+        return msg
+
+
+def virtual_nbytes(payload: Any, cost) -> float:
+    """Virtual wire size of a payload (ndarray leaves scaled by the
+    cost model's ``dim_scale``; everything else counts a header's worth)."""
+    if isinstance(payload, np.ndarray):
+        if payload.ndim == 2:
+            return cost.bytes_of(payload.shape[0], payload.shape[1])
+        # 1-D and 0-D payloads scale linearly (vectors) / not at all.
+        if payload.ndim == 1:
+            return cost.v(payload.shape[0]) * cost.itemsize
+        return float(payload.size * cost.itemsize)
+    if isinstance(payload, (list, tuple)):
+        return sum(virtual_nbytes(p, cost) for p in payload) or 8.0
+    if isinstance(payload, dict):
+        return sum(virtual_nbytes(p, cost) for p in payload.values()) or 8.0
+    return 8.0

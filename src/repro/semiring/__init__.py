@@ -1,0 +1,73 @@
+"""Tropical (min,+) semiring algebra and SrGemm kernels.
+
+This subpackage is the numerical heart of the reproduction: the
+semiring abstraction (paper §2.3), the SrGemm matrix-product kernels
+the GPU model executes (paper §2.6/§4.1), Floyd-Warshall on one block,
+and the closure-by-squaring DiagUpdate (paper Eq. 4).
+"""
+
+from .closure import (
+    check_no_negative_cycle,
+    closure_by_squaring,
+    dc_floyd_warshall,
+    floyd_warshall,
+    fw_inplace,
+    squaring_steps,
+)
+from .kernels import (
+    DEFAULT_K_CHUNK,
+    eltwise_plus,
+    panel_col_update,
+    panel_row_update,
+    srgemm,
+    srgemm_accumulate,
+    srgemm_flops,
+)
+from .path_kernels import (
+    NO_HOP,
+    fw_inplace_paths,
+    init_next_hops,
+    srgemm_accumulate_paths,
+)
+from .minplus import (
+    INF,
+    MAX_MIN,
+    MAX_PLUS,
+    MIN_MAX,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    SEMIRINGS,
+    Semiring,
+    weight_matrix_is_valid,
+)
+
+__all__ = [
+    "INF",
+    "Semiring",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MAX_MIN",
+    "MIN_MAX",
+    "OR_AND",
+    "PLUS_TIMES",
+    "SEMIRINGS",
+    "weight_matrix_is_valid",
+    "srgemm",
+    "srgemm_accumulate",
+    "srgemm_flops",
+    "eltwise_plus",
+    "panel_row_update",
+    "panel_col_update",
+    "DEFAULT_K_CHUNK",
+    "fw_inplace",
+    "floyd_warshall",
+    "closure_by_squaring",
+    "squaring_steps",
+    "check_no_negative_cycle",
+    "dc_floyd_warshall",
+    "NO_HOP",
+    "init_next_hops",
+    "srgemm_accumulate_paths",
+    "fw_inplace_paths",
+]

@@ -1,0 +1,134 @@
+"""Semiring matrix-multiplication (SrGemm) kernels.
+
+These are the compute kernels the paper offloads to the GPU via
+cuASR/CUTLASS (its §2.6/§4.1).  Here they are vectorized NumPy, generic
+over a :class:`~repro.semiring.minplus.Semiring`; the machine model in
+:mod:`repro.machine` wraps them with simulated-time costing.
+
+The triple loop ``C[i,j] = ⊕_k A[i,k] ⊗ B[k,j]`` is evaluated in
+k-chunks so the broadcast temporary stays at ``m * k_chunk * n``
+elements, the NumPy analogue of the shared-memory tiling a GPU GEMM
+performs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .minplus import MIN_PLUS, Semiring
+
+__all__ = [
+    "srgemm",
+    "srgemm_accumulate",
+    "srgemm_flops",
+    "eltwise_plus",
+    "panel_row_update",
+    "panel_col_update",
+    "DEFAULT_K_CHUNK",
+]
+
+#: Default k-chunk: bounds the broadcast temporary at
+#: ``m * DEFAULT_K_CHUNK * n`` elements (~8 MB for 128x128 blocks).
+DEFAULT_K_CHUNK = 64
+
+
+def srgemm_flops(m: int, n: int, k: int) -> int:
+    """Flop count of one SrGemm, counting ``⊕`` and ``⊗`` as one flop
+    each - the ``2mnk`` convention the paper uses throughout §4.5."""
+    return 2 * m * n * k
+
+
+def _validate_pair(a: np.ndarray, b: np.ndarray) -> None:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"srgemm operands must be 2-D, got {a.shape} and {b.shape}")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+
+
+def srgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    k_chunk: Optional[int] = None,
+) -> np.ndarray:
+    """Return ``A ⊗ B`` (the min-plus product for the default semiring).
+
+    Parameters
+    ----------
+    a, b:
+        Operands of shapes ``(m, k)`` and ``(k, n)``.
+    semiring:
+        Algebra to evaluate over.
+    k_chunk:
+        Inner-dimension tile; ``None`` uses :data:`DEFAULT_K_CHUNK`.
+    """
+    _validate_pair(a, b)
+    m, k = a.shape
+    n = b.shape[1]
+    out = semiring.zeros((m, n), dtype=np.result_type(a.dtype, b.dtype))
+    if k == 0:
+        return out
+    return srgemm_accumulate(out, a, b, semiring=semiring, k_chunk=k_chunk)
+
+
+def srgemm_accumulate(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    k_chunk: Optional[int] = None,
+) -> np.ndarray:
+    """In-place fused update ``C ← C ⊕ (A ⊗ B)``; returns ``c``.
+
+    This is the exact shape of every update in blocked Floyd-Warshall
+    (Alg. 2): the outer product, both panel updates and the look-ahead
+    updates of the pipelined schedule are all ``C ⊕ A ⊗ B``.
+    """
+    _validate_pair(a, b)
+    m, k = a.shape
+    n = b.shape[1]
+    if c.shape != (m, n):
+        raise ValueError(f"accumulator shape {c.shape} does not match product shape {(m, n)}")
+    if k == 0:
+        return c
+    step = k_chunk or DEFAULT_K_CHUNK
+    plus, times = semiring.plus, semiring.times
+    for k0 in range(0, k, step):
+        k1 = min(k0 + step, k)
+        # (m, kc, n) broadcast temporary == the "shared memory tile".
+        partial = times(a[:, k0:k1, None], b[None, k0:k1, :])
+        plus(c, semiring.plus_reduce(partial, axis=1), out=c)
+    return c
+
+
+def eltwise_plus(
+    a: np.ndarray, b: np.ndarray, semiring: Semiring = MIN_PLUS, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Element-wise ``A ⊕ B`` (min for the tropical semiring)."""
+    return semiring.plus(a, b, out=out)
+
+
+def panel_row_update(
+    panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+) -> np.ndarray:
+    """Row-panel update ``A(k,:) ← A(k,:) ⊕ A(k,k) ⊗ A(k,:)`` in place.
+
+    ``diag`` multiplies from the *left* (paper Alg. 2, PanelUpdate).
+    """
+    if diag.shape[0] != diag.shape[1] or diag.shape[1] != panel.shape[0]:
+        raise ValueError(f"diag {diag.shape} incompatible with row panel {panel.shape}")
+    return srgemm_accumulate(panel, diag, panel.copy(), semiring=semiring)
+
+
+def panel_col_update(
+    panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+) -> np.ndarray:
+    """Column-panel update ``A(:,k) ← A(:,k) ⊕ A(:,k) ⊗ A(k,k)`` in place.
+
+    ``diag`` multiplies from the *right* (paper Alg. 2, PanelUpdate).
+    """
+    if diag.shape[0] != diag.shape[1] or panel.shape[1] != diag.shape[0]:
+        raise ValueError(f"diag {diag.shape} incompatible with column panel {panel.shape}")
+    return srgemm_accumulate(panel, panel.copy(), diag, semiring=semiring)

@@ -1,0 +1,114 @@
+"""(min,+) kernels that carry next-hop pointers.
+
+These back *distributed shortest-path generation* (the paper's first
+future-work item): every distance update also updates a parallel
+next-hop matrix, so paths come out of the distributed sweep itself
+rather than from post-processing.
+
+The update rule: when ``C[r, c]`` improves via intermediate ``t``
+(i.e. ``A[r, t] + B[t, c] < C[r, c]``), the first hop of the new best
+path is the first hop of the path behind ``A[r, t]`` - so the kernels
+need the *left* operand's next-hop block only.  In the blocked
+algorithm that means the column panels (and the diagonal) carry their
+pointer blocks over the wire, while row panels travel as distances
+only; the asymmetry is visible in the communication accounting.
+
+All kernels are (min,+)-specific: argmin tracking has no meaning for a
+general semiring ``⊕``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .kernels import DEFAULT_K_CHUNK
+
+__all__ = [
+    "NO_HOP",
+    "init_next_hops",
+    "srgemm_accumulate_paths",
+    "fw_inplace_paths",
+]
+
+#: Sentinel for "no next hop" (same vertex, or unreachable).
+NO_HOP = -1
+
+
+def init_next_hops(weights: np.ndarray, col_offset: int = 0) -> np.ndarray:
+    """Initial next-hop block for a weight block.
+
+    ``nxt[r, c] = global column id`` where an edge exists, else
+    :data:`NO_HOP`.  ``col_offset`` is the block's global column start
+    (next hops are global vertex ids).  The caller is responsible for
+    clearing the diagonal of diagonal blocks.
+    """
+    rows, cols = weights.shape
+    nxt = np.where(
+        np.isfinite(weights),
+        np.arange(col_offset, col_offset + cols, dtype=np.int64)[None, :],
+        np.int64(NO_HOP),
+    )
+    return np.ascontiguousarray(nxt)
+
+
+def srgemm_accumulate_paths(
+    c: np.ndarray,
+    c_nxt: np.ndarray,
+    a: np.ndarray,
+    a_nxt: np.ndarray,
+    b: np.ndarray,
+    k_chunk: Optional[int] = None,
+) -> np.ndarray:
+    """Fused ``C ← C ⊕ A ⊗ B`` that also updates ``C``'s next hops.
+
+    Wherever the product improves ``C[r, c]`` through intermediate
+    ``t``, sets ``c_nxt[r, c] = a_nxt[r, t*]`` for the minimizing
+    ``t*``.  Strict improvement only, so existing (equally good) paths
+    are kept - updates stay idempotent, as the blocked schedules
+    require.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    if b.shape[0] != k or c.shape != (m, n) or c_nxt.shape != (m, n) or a_nxt.shape != (m, k):
+        raise ValueError(
+            f"shape mismatch: C{c.shape}/NC{c_nxt.shape} A{a.shape}/NA{a_nxt.shape} B{b.shape}"
+        )
+    if k == 0:
+        return c
+    step = k_chunk or DEFAULT_K_CHUNK
+    for k0 in range(0, k, step):
+        k1 = min(k0 + step, k)
+        cand = a[:, k0:k1, None] + b[None, k0:k1, :]  # (m, kc, n)
+        best = cand.min(axis=1)
+        arg = cand.argmin(axis=1)  # minimizing t within the chunk
+        better = best < c
+        if not better.any():
+            continue
+        c[better] = best[better]
+        # c_nxt[r, c] = a_nxt[r, k0 + arg[r, c]] where improved.
+        hop = np.take_along_axis(a_nxt, k0 + arg, axis=1)
+        c_nxt[better] = hop[better]
+    return c
+
+
+def fw_inplace_paths(dist: np.ndarray, nxt: np.ndarray) -> np.ndarray:
+    """Classic Floyd-Warshall on one block, carrying next hops.
+
+    The block is treated as a closed subproblem (the DiagUpdate):
+    intermediates are the block's own vertices, and ``nxt`` entries are
+    global ids, so relabeling is not needed.
+    """
+    n = dist.shape[0]
+    if dist.shape != (n, n) or nxt.shape != (n, n):
+        raise ValueError(f"square blocks required, got {dist.shape} / {nxt.shape}")
+    for k in range(n):
+        via = dist[:, k, None] + dist[None, k, :]
+        better = via < dist
+        if not better.any():
+            continue
+        dist[better] = via[better]
+        # First hop toward k's path: column k of nxt, broadcast per row.
+        nxt[better] = np.broadcast_to(nxt[:, k, None], (n, n))[better]
+    return dist

@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the substrate everything else runs on: a SimPy-like
+event engine (:mod:`repro.sim.engine`), shared-resource primitives
+(:mod:`repro.sim.resources`) and execution tracing
+(:mod:`repro.sim.trace`).
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import FilterStore, Request, Resource, Store
+from .trace import Span, Tracer, render_gantt
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "FilterStore",
+    "Request",
+    "Resource",
+    "Store",
+    "Span",
+    "Tracer",
+    "render_gantt",
+]

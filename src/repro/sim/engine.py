@@ -1,0 +1,434 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, SimPy-like kernel that the rest of the package
+builds on.  Simulated actors (MPI ranks, CUDA streams, the host CPU of a
+node, ...) are ordinary Python generators that ``yield`` :class:`Event`
+objects; the :class:`Environment` interleaves them in simulated time.
+
+The engine is deliberately minimal but complete for our needs:
+
+* :class:`Event` - one-shot events carrying a value or an exception.
+* :class:`Timeout` - an event that fires after a simulated delay.
+* :class:`Process` - wraps a generator; is itself an event that fires
+  when the generator returns (its value is the generator's return value).
+* :class:`AllOf` / :class:`AnyOf` - event combinators used to express
+  overlap ("wait for the broadcast *and* the outer product").
+
+Determinism matters: two runs of the same program must produce identical
+event orderings so tests and benchmarks are reproducible.  The run queue
+breaks time ties by (priority, sequence number), where the sequence
+number is allocated at schedule time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for control events that must run before same-time
+#: ordinary events (e.g. resuming a process that was just granted a
+#: resource).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that gets interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event.
+
+    An event starts *pending*; it is *triggered* once :meth:`succeed` or
+    :meth:`fail` is called, and *processed* once the environment has run
+    its callbacks.  Processes waiting on the event are resumed with the
+    event's value (or have the failure exception thrown into them).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: A failed event whose failure was consumed (e.g. by a waiting
+        #: process) will not crash the simulation at the top level.
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("value of untriggered event is not available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, priority=NORMAL)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated time units in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, priority=NORMAL, delay=delay)
+
+
+class _Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        self._ok = True
+        self._value = None
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator so the environment can step it.
+
+    The process is itself an :class:`Event` that triggers when the
+    generator returns; the event value is the generator's return value
+    (``StopIteration.value``).  If the generator raises, the process
+    fails with that exception, which propagates to anything waiting on
+    it (or aborts the simulation if nothing is).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process must be alive and not waiting on itself.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self.name} has terminated and cannot be interrupted")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume_interrupt)
+        interrupt_event._triggered = True
+        interrupt_event._ok = True
+        interrupt_event._value = cause
+        self.env._schedule(interrupt_event, priority=URGENT)
+
+    # -- stepping ----------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        self._step(throw=Interrupt(event._value))
+
+    def _resume(self, event: Event) -> None:
+        if event._ok:
+            self._step(send=event._value)
+        else:
+            event._defused = True
+            self._step(throw=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        self._target = None
+        env = self.env
+        env._active_process = self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            env._active_process = None
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            env._schedule(self, priority=NORMAL)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            env._schedule(self, priority=NORMAL)
+            return
+        env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {target!r}; "
+                "did you forget `yield from` for a sub-routine?"
+            )
+        if target.callbacks is None:
+            # Already processed: resume immediately (keeps same-time
+            # semantics without re-dispatch through the queue).
+            if target._ok:
+                self._step(send=target._value)
+            else:
+                target._defused = True
+                self._step(throw=target._value)
+            return
+        target.callbacks.append(self._resume)
+        self._target = target
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`.
+
+    An event counts as *done* once it has been processed (its
+    callbacks have run), not merely created-triggered - a Timeout is
+    "triggered" from birth but must still wait its delay.
+    """
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._done = 0
+        failed = None
+        for ev in self._events:
+            if ev.callbacks is None:  # already processed
+                if not ev._ok:
+                    ev._defused = True
+                    failed = failed or ev._value
+                else:
+                    self._done += 1
+            else:
+                ev.callbacks.append(self._check)
+        if failed is not None:
+            self.fail(failed)
+        elif self._satisfied():
+            self.succeed(self._result())
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._satisfied():
+            self.succeed(self._result())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _result(self) -> Any:
+        return [
+            ev._value
+            for ev in self._events
+            if ev.callbacks is None and ev._triggered and ev._ok
+        ]
+
+
+class AllOf(_Condition):
+    """Triggers when *all* constituent events have been processed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._done == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* constituent event has been processed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1 or not self._events
+
+
+class Environment:
+    """The simulation environment: clock plus run queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by package convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when drained."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:  # type: ignore[union-attr]
+            callback(event)
+        event._mark_processed()
+        if not event._ok and not event._defused:
+            raise event._value  # unhandled failure aborts the run
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the queue), a time, or an
+        :class:`Event` (run until it is processed and return its value;
+        raise if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while self._queue:
+                if sentinel._processed:
+                    break
+                self.step()
+            if not sentinel._triggered:
+                raise SimulationError(
+                    f"run(until={sentinel!r}) finished with the event never triggered; deadlock?"
+                )
+            if not sentinel._ok:
+                sentinel._defused = True
+                raise sentinel._value
+            return sentinel._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self.peek() <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

@@ -1,0 +1,204 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover everything the machine model needs:
+
+* :class:`Resource` - a counted resource with a FIFO wait queue.  A NIC,
+  a GPU's kernel engine, a host memory-bandwidth channel: anything where
+  concurrent users must serialize.
+* :class:`Store` - an unbounded FIFO of Python objects with blocking
+  ``get``.  Message queues between simulated MPI ranks are stores.
+* :class:`FilterStore` - a store whose ``get`` takes a predicate, used
+  for MPI tag/source matching.
+
+All primitives are strictly FIFO among equally-eligible requests, which
+keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Request", "Store", "FilterStore"]
+
+
+class Request(Event):
+    """Event granted when the requesting process acquires the resource."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    Usage from a process generator::
+
+        req = nic.request()
+        yield req
+        yield env.timeout(transfer_time)
+        nic.release(req)
+
+    or, equivalently, via the :meth:`use` helper::
+
+        yield from nic.use(transfer_time)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+        #: Cumulative simulated time-integral of queue length; used by the
+        #: trace layer to report contention.
+        self.total_wait_time = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request not in self._users:
+            raise SimulationError(f"release of {request!r} that does not hold {self.name}")
+        self._users.discard(request)
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+    def use(self, duration: float):
+        """Generator helper: acquire, hold for ``duration``, release.
+
+        Returns the simulated time at which the resource was acquired,
+        so callers can measure queueing delay.
+        """
+        req = self.request()
+        t_asked = self.env.now
+        yield req
+        t_got = self.env.now
+        self.total_wait_time += t_got - t_asked
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+        return t_got
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Resource {self.name} {self.count}/{self.capacity} (+{self.queue_len} waiting)>"
+
+
+class _StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, env: Environment, filt: Optional[Callable[[Any], bool]] = None):
+        super().__init__(env)
+        self.filter = filt
+
+
+class Store:
+    """Unbounded FIFO store with blocking ``get``.
+
+    ``put`` never blocks (message queues in our MPI model are unbounded;
+    flow control happens at the NIC resource instead).
+    """
+
+    def __init__(self, env: Environment, name: str = "store"):
+        self.env = env
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._getters: deque[_StoreGet] = deque()
+
+    def put(self, item: Any) -> None:
+        self.items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        ev = _StoreGet(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters[0]
+            matched = self._match(getter)
+            if matched is _NO_MATCH:
+                break
+            self._getters.popleft()
+            getter.succeed(matched)
+
+    def _match(self, getter: _StoreGet) -> Any:
+        if not self.items:
+            return _NO_MATCH
+        return self.items.popleft()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class _NoMatch:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<NO_MATCH>"
+
+
+_NO_MATCH = _NoMatch()
+
+
+class FilterStore(Store):
+    """A store whose ``get`` can carry a predicate.
+
+    Unlike the plain :class:`Store`, *all* pending getters are examined
+    on every put, because a newly arrived item may satisfy a getter that
+    is not at the head of the queue (MPI tag matching needs this).
+    Among getters whose predicate matches, FIFO order is preserved.
+    """
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
+        ev = _StoreGet(self.env, filt)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for getter in list(self._getters):
+                matched = self._match(getter)
+                if matched is _NO_MATCH:
+                    continue
+                self._getters.remove(getter)
+                getter.succeed(matched)
+                progress = True
+                break
+
+    def _match(self, getter: _StoreGet) -> Any:
+        for idx, item in enumerate(self.items):
+            if getter.filter is None or getter.filter(item):
+                del self.items[idx]
+                return item
+        return _NO_MATCH

@@ -1,0 +1,195 @@
+"""Execution tracing for simulated runs.
+
+The tracer records *spans* - (actor, category, label, t_start, t_end) -
+and scalar counters.  It backs three consumers:
+
+* the per-run :class:`~repro.core.report.PerfReport` (time per kernel
+  category, communication volume, overlap fraction);
+* the text Gantt renderer used by ``examples/pipeline_timeline.py`` and
+  ``benchmarks/bench_fig2_pipeline_timeline.py`` to reproduce the
+  paper's Figure 2 schedule;
+* assertions in tests ("d2hXfer of tile t overlaps SrGemm of tile t+1").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["Span", "Tracer", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval of simulated time attributed to an actor."""
+
+    actor: str
+    category: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        """True if the two spans share a positive-length interval."""
+        return min(self.end, other.end) > max(self.start, other.start)
+
+
+class Tracer:
+    """Collects spans and counters during a simulated run.
+
+    Tracing is optional everywhere: call sites accept ``tracer=None``
+    and the disabled path costs one ``if``.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = defaultdict(float)
+
+    def record(self, actor: str, category: str, label: str, start: float, end: float) -> None:
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span ends before it starts: {label} [{start}, {end}]")
+        self.spans.append(Span(actor, category, label, start, end))
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.counters[counter] += amount
+
+    # -- queries -----------------------------------------------------------
+    def spans_by_category(self, category: str) -> list[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def spans_by_actor(self, actor: str) -> list[Span]:
+        return [s for s in self.spans if s.actor == actor]
+
+    def actors(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.actor, None)
+        return list(seen)
+
+    def total_time(self, category: str, actor: Optional[str] = None) -> float:
+        """Sum of span durations in a category (per actor if given)."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if s.category == category and (actor is None or s.actor == actor)
+        )
+
+    def busy_time(self, actor: str, categories: Optional[Iterable[str]] = None) -> float:
+        """Length of the union of the actor's span intervals.
+
+        Unlike :meth:`total_time` this does not double-count overlapped
+        spans, so ``busy_time <= makespan`` always holds.
+        """
+        cats = set(categories) if categories is not None else None
+        intervals = sorted(
+            (s.start, s.end)
+            for s in self.spans
+            if s.actor == actor and (cats is None or s.category in cats)
+        )
+        busy = 0.0
+        cur_start, cur_end = None, None
+        for start, end in intervals:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    busy += cur_end - cur_start  # type: ignore[operator]
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            busy += cur_end - cur_start  # type: ignore[operator]
+        return busy
+
+    def overlap_time(self, category_a: str, category_b: str) -> float:
+        """Total simulated time during which some span of ``category_a``
+        runs concurrently with some span of ``category_b``.
+
+        Computed on the union-intervals of each category, so nested or
+        duplicated spans are not double counted.  This is the number
+        behind statements like "communication is hidden behind the
+        outer product".
+        """
+
+        def union(cat: str) -> list[tuple[float, float]]:
+            ivs = sorted((s.start, s.end) for s in self.spans if s.category == cat)
+            merged: list[tuple[float, float]] = []
+            for start, end in ivs:
+                if merged and start <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+                else:
+                    merged.append((start, end))
+            return merged
+
+        a, b = union(category_a), union(category_b)
+        i = j = 0
+        overlap = 0.0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if hi > lo:
+                overlap += hi - lo
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return overlap
+
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+
+def render_gantt(
+    tracer: Tracer,
+    width: int = 100,
+    actors: Optional[list[str]] = None,
+    glyphs: Optional[dict[str, str]] = None,
+) -> str:
+    """Render the trace as a fixed-width text Gantt chart.
+
+    One row per actor; each span paints the glyph of its category
+    (first letter by default) over its time extent.  Later spans paint
+    over earlier ones, and a collision of two *different* categories in
+    one cell shows ``#`` (a visual cue of overlap inside one actor).
+    """
+    if not tracer.spans:
+        return "(empty trace)"
+    t0 = min(s.start for s in tracer.spans)
+    t1 = max(s.end for s in tracer.spans)
+    extent = max(t1 - t0, 1e-30)
+    rows = actors if actors is not None else tracer.actors()
+    glyphs = glyphs or {}
+    name_w = max(len(a) for a in rows)
+    lines = [
+        f"{'actor'.ljust(name_w)} | t0={t0:.6g}s .. t1={t1:.6g}s "
+        f"(1 col = {extent / width:.3g}s)"
+    ]
+    for actor in rows:
+        cells = [" "] * width
+        for span in tracer.spans_by_actor(actor):
+            glyph = glyphs.get(span.category, span.category[:1].upper() or "?")
+            lo = int((span.start - t0) / extent * width)
+            hi = int((span.end - t0) / extent * width)
+            hi = max(hi, lo + 1)
+            for c in range(lo, min(hi, width)):
+                if cells[c] not in (" ", glyph):
+                    cells[c] = "#"
+                else:
+                    cells[c] = glyph
+        lines.append(f"{actor.ljust(name_w)} |{''.join(cells)}|")
+    legend = sorted({s.category for s in tracer.spans})
+    lines.append(
+        "legend: "
+        + ", ".join(f"{glyphs.get(c, c[:1].upper() or '?')}={c}" for c in legend)
+        + ", #=overlap"
+    )
+    return "\n".join(lines)

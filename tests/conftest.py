@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi, uniform_random_dense
+from repro.machine import SUMMIT, CostModel, SimCluster
+from repro.sim import Environment, Tracer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+@pytest.fixture
+def cost():
+    return CostModel(SUMMIT)
+
+
+@pytest.fixture
+def cluster(env, cost, tracer):
+    return SimCluster(env, SUMMIT, 4, cost, tracer)
+
+
+@pytest.fixture
+def dense24():
+    """A 24-vertex dense uniform random graph (paper's input class)."""
+    return uniform_random_dense(24, seed=7)
+
+
+@pytest.fixture
+def sparse30():
+    """A 30-vertex sparse graph with unreachable pairs."""
+    return erdos_renyi(30, 0.15, seed=11)

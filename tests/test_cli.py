@@ -1,0 +1,132 @@
+"""Tests for the repro-apsp command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import load_matrix, save_matrix, uniform_random_dense
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.variant == "async"
+        assert args.n == 128
+        assert args.nodes == 1
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--variant", "bogus"])
+
+
+class TestCommands:
+    def test_variants_lists_all(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        for v in ("baseline", "pipelined", "reordering", "async", "offload"):
+            assert v in out
+
+    def test_placement_diagram(self, capsys):
+        assert main(["placement", "--pr", "4", "--pc", "6", "--qr", "2", "--qc", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "K=2x2" in out
+
+    def test_solve_small_with_validation(self, capsys):
+        rc = main(
+            [
+                "solve", "--n", "24", "--block", "4", "--nodes", "2",
+                "--ranks-per-node", "2", "--variant", "async", "--validate",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validation: OK" in out
+        assert "simulated time" in out
+
+    def test_solve_with_density_and_trace(self, capsys):
+        rc = main(
+            [
+                "solve", "--n", "20", "--block", "4", "--density", "0.4",
+                "--nodes", "1", "--ranks-per-node", "2", "--trace",
+            ]
+        )
+        assert rc == 0
+        assert "per-category busy time" in capsys.readouterr().out
+
+    def test_solve_io_roundtrip(self, tmp_path, capsys):
+        w = uniform_random_dense(16, seed=1)
+        inp = tmp_path / "in.npz"
+        outp = tmp_path / "out.npz"
+        save_matrix(inp, w)
+        rc = main(
+            [
+                "solve", "--input", str(inp), "--block", "4", "--nodes", "1",
+                "--ranks-per-node", "2", "--output", str(outp),
+            ]
+        )
+        assert rc == 0
+        dist = load_matrix(outp)
+        from repro.graphs import scipy_floyd_warshall
+
+        assert np.allclose(dist, scipy_floyd_warshall(w))
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "--n", "300000", "--nodes", "64", "--ranks-per-node", "12"])
+        assert rc == 0
+        assert "predicted" in capsys.readouterr().out
+
+    def test_tune_offload_shows_eq5(self, capsys):
+        rc = main(
+            ["tune", "--n", "300000", "--nodes", "64", "--ranks-per-node", "12",
+             "--offload"]
+        )
+        assert rc == 0
+        assert "Eq. 5" in capsys.readouterr().out
+
+    def test_offload_variant_cli(self, capsys):
+        rc = main(
+            [
+                "solve", "--n", "16", "--block", "4", "--nodes", "1",
+                "--ranks-per-node", "2", "--variant", "offload", "--validate",
+            ]
+        )
+        assert rc == 0
+
+    def test_analyze(self, tmp_path, capsys):
+        rc = main(
+            [
+                "solve", "--n", "24", "--block", "4", "--nodes", "1",
+                "--ranks-per-node", "2", "--output", str(tmp_path / "d.npz"),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["analyze", str(tmp_path / "d.npz"), "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "diameter" in out and "top closeness" in out
+
+    def test_machine_preset(self, capsys):
+        rc = main(
+            [
+                "solve", "--n", "16", "--block", "4", "--nodes", "1",
+                "--ranks-per-node", "2", "--machine", "frontier-like", "--validate",
+            ]
+        )
+        assert rc == 0
+
+    def test_paths_and_sparse_flags(self, capsys):
+        rc = main(
+            [
+                "solve", "--n", "16", "--block", "4", "--nodes", "1",
+                "--ranks-per-node", "2", "--density", "0.3", "--paths",
+                "--sparse", "--validate",
+            ]
+        )
+        assert rc == 0

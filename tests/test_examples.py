@@ -1,0 +1,41 @@
+"""Every shipped example must run to completion.
+
+Each example is a self-verifying script (they assert their own
+results); running their ``main()`` in-process keeps this fast and
+turns any regression in the public API surface into a test failure.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3, "the repo ships at least three examples"
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    assert hasattr(module, "main"), f"{name}.py must expose main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name}.py should print something"

@@ -1,0 +1,201 @@
+"""Tests for the 2-D process grid and rank placement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ProcessGrid,
+    contiguous_placement,
+    enumerate_placements,
+    factor_pairs,
+    near_square_factors,
+    optimal_placement,
+    tiled_placement,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFactorizations:
+    def test_factor_pairs(self):
+        assert set(factor_pairs(12)) == {(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)}
+        assert factor_pairs(1) == [(1, 1)]
+        assert factor_pairs(7) == [(1, 7), (7, 1)]
+
+    def test_factor_pairs_invalid(self):
+        with pytest.raises(ValueError):
+            factor_pairs(0)
+
+    @pytest.mark.parametrize("p,expect", [(1, (1, 1)), (12, (3, 4)), (16, (4, 4)),
+                                          (7, (1, 7)), (48, (6, 8)), (768, (24, 32))])
+    def test_near_square(self, p, expect):
+        assert near_square_factors(p) == expect
+
+    @given(st.integers(1, 5000))
+    @settings(max_examples=50, deadline=None)
+    def test_near_square_property(self, p):
+        a, b = near_square_factors(p)
+        assert a * b == p and a <= b
+
+
+class TestProcessGrid:
+    def test_shape_and_size(self):
+        g = ProcessGrid(3, 4)
+        assert g.size == 12
+        assert str(g) == "3x4 grid (12 ranks)"
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            ProcessGrid(0, 4)
+
+    def test_coords_roundtrip(self):
+        g = ProcessGrid(3, 4)
+        for r in range(12):
+            row, col = g.coords(r)
+            assert g.rank_of(row, col) == r
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ProcessGrid(2, 2).coords(4)
+
+    def test_rank_of_wraps(self):
+        g = ProcessGrid(2, 3)
+        assert g.rank_of(2, 3) == g.rank_of(0, 0)
+
+    def test_block_cyclic_ownership(self):
+        g = ProcessGrid(2, 3)
+        assert g.owner_coords(0, 0) == (0, 0)
+        assert g.owner_coords(5, 7) == (1, 1)
+        assert g.owner(2, 4) == g.rank_of(0, 1)
+        assert g.owns(g.rank_of(1, 2), 3, 5)
+
+    def test_row_col_ranks(self):
+        g = ProcessGrid(2, 3)
+        assert g.row_ranks(0) == (0, 1, 2)
+        assert g.row_ranks(1) == (3, 4, 5)
+        assert g.row_ranks(2) == (0, 1, 2)  # wraps (P_r(k) = k mod P_r)
+        assert g.col_ranks(1) == (1, 4)
+
+    def test_local_blocks_partition(self):
+        """Every block is owned by exactly one rank."""
+        g = ProcessGrid(2, 3)
+        nb = 7
+        seen = set()
+        for r in range(g.size):
+            blocks = g.local_blocks(r, nb)
+            assert not (seen & set(blocks))
+            seen.update(blocks)
+        assert len(seen) == nb * nb
+
+    def test_local_rows_cyclic(self):
+        g = ProcessGrid(2, 3)
+        assert g.local_block_rows(0, 5) == [0, 2, 4]
+        assert g.local_block_rows(3, 5) == [1, 3]
+
+
+class TestPlacements:
+    def test_tiled_matches_paper_figure1(self):
+        """K=4, Q=6: 24 ranks on 4 nodes, 2x3 tile per node."""
+        p = tiled_placement(ProcessGrid(4, 6), 2, 3)
+        assert p.kr == 2 and p.kc == 2
+        assert p.n_nodes == 4
+        assert p.ranks_per_node == 6
+        # Top-left 2x3 block of coordinates on node 0.
+        g = p.grid
+        for row in range(2):
+            for col in range(3):
+                assert p.node_of(g.rank_of(row, col)) == 0
+        assert p.node_of(g.rank_of(0, 3)) == 1
+        assert p.node_of(g.rank_of(2, 0)) == 2
+        assert p.node_of(g.rank_of(3, 5)) == 3
+
+    def test_tiled_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiled_placement(ProcessGrid(4, 6), 3, 3)
+
+    def test_contiguous_is_row_tile(self):
+        p = contiguous_placement(ProcessGrid(4, 6), 6)
+        assert (p.qr, p.qc) == (1, 6)
+        assert p.node_of(0) == 0 and p.node_of(5) == 0 and p.node_of(6) == 1
+
+    def test_contiguous_multirow(self):
+        p = contiguous_placement(ProcessGrid(4, 4), 8)
+        assert (p.qr, p.qc) == (2, 4)
+
+    def test_contiguous_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_placement(ProcessGrid(4, 6), 5)
+
+    def test_contiguous_wrapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_placement(ProcessGrid(4, 6), 4)
+
+    def test_optimal_prefers_square_tile(self):
+        p = optimal_placement(ProcessGrid(4, 6), 6)
+        assert (p.qr, p.qc) == (2, 3)
+
+    def test_optimal_minimizes_volume_factor(self):
+        """The chosen tile minimizes Q_r/P_r + Q_c/P_c over divisors."""
+        grid = ProcessGrid(8, 8)
+        p = optimal_placement(grid, 4)
+        assert (p.qr, p.qc) == (2, 2)
+
+    def test_optimal_no_valid_tile(self):
+        with pytest.raises(ConfigurationError):
+            optimal_placement(ProcessGrid(5, 5), 4)
+
+    def test_enumerate_placements_fig3_sweep(self):
+        ps = enumerate_placements(24, 6)
+        descs = {p.describe() for p in ps}
+        assert len(ps) == len(descs)  # all distinct
+        assert any(p.kr == p.kc == 2 for p in ps)  # the optimum exists
+        for p in ps:
+            assert p.grid.size == 24
+            assert p.ranks_per_node == 6
+            assert p.n_nodes == 4
+
+    def test_local_index_stable(self):
+        p = tiled_placement(ProcessGrid(4, 6), 2, 3)
+        # Each node's local indices are 0..5 with no repeats.
+        by_node: dict[int, list[int]] = {}
+        for r in range(24):
+            by_node.setdefault(p.node_of(r), []).append(p.local_index(r))
+        for node, idxs in by_node.items():
+            assert sorted(idxs) == list(range(6))
+
+    def test_ascii_diagram(self):
+        p = tiled_placement(ProcessGrid(2, 2), 1, 1)
+        dia = p.ascii_diagram()
+        assert dia.splitlines()[0].split() == ["0", "1"]
+        assert dia.splitlines()[1].split() == ["2", "3"]
+
+    def test_describe_format(self):
+        p = tiled_placement(ProcessGrid(4, 6), 2, 3)
+        assert p.describe() == "P=4x6 K=2x2 Q=2x3"
+
+    def test_mismatched_mapping_rejected(self):
+        from repro.core.placement import RankPlacement
+
+        with pytest.raises(ConfigurationError):
+            RankPlacement(ProcessGrid(2, 2), 1, 1, (0, 0))  # wrong length
+        with pytest.raises(ConfigurationError):
+            RankPlacement(ProcessGrid(2, 2), 2, 3, (0,) * 4)  # tile mismatch
+
+    @given(st.sampled_from([(2, 2), (2, 3), (4, 4), (4, 6), (3, 3)]),
+           st.sampled_from([1, 2, 3, 4, 6]))
+    @settings(max_examples=30, deadline=None)
+    def test_tiled_partition_property(self, dims, q):
+        """Tiled placements partition ranks into equal-size nodes."""
+        pr, pc = dims
+        grid = ProcessGrid(pr, pc)
+        for qr, qc in [(a, q // a) for a in range(1, q + 1) if q % a == 0]:
+            if pr % qr or pc % qc:
+                continue
+            p = tiled_placement(grid, qr, qc)
+            counts: dict[int, int] = {}
+            for r in range(grid.size):
+                counts[p.node_of(r)] = counts.get(p.node_of(r), 0) + 1
+            assert all(c == qr * qc for c in counts.values())
+            assert len(counts) == p.n_nodes

@@ -1,0 +1,134 @@
+"""Tests that the *scheduling* claims of the paper hold in simulation:
+pipelining hides communication, the async ring decouples iterations,
+and the report metrics are computed as defined in §5.1.3."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import apsp
+from repro.core.report import min_pernode_volume_bytes
+
+
+def hollow_run(variant, nb=48, nodes=8, rpn=4, scale=768.0, trace=False, **kw):
+    w = np.zeros((nb, nb), dtype=np.float32)
+    return apsp(
+        w,
+        variant=variant,
+        block_size=1,
+        n_nodes=nodes,
+        ranks_per_node=rpn,
+        dim_scale=scale,
+        compute_numerics=False,
+        collect_result=False,
+        trace=trace,
+        **kw,
+    )
+
+
+class TestSchedulingClaims:
+    def test_variant_ordering_comm_bound(self):
+        """In the communication-bound regime the paper's Figure 4
+        ordering holds: baseline < pipelined <= reordering <= async."""
+        t = {v: hollow_run(v, nodes=16).report.elapsed for v in
+             ("baseline", "pipelined", "reordering", "async")}
+        assert t["pipelined"] < t["baseline"]
+        assert t["reordering"] <= t["pipelined"] * 1.02
+        assert t["async"] <= t["reordering"] * 1.02
+        assert t["async"] < t["baseline"] * 0.8
+
+    def test_pipelined_overlaps_comm_with_compute(self):
+        """Tracer evidence of Algorithm 4: SrGemm time concurrent with
+        NIC transfers is much higher for the pipelined schedule."""
+        base = hollow_run("baseline", trace=True).tracer
+        pipe = hollow_run("pipelined", trace=True).tracer
+        base_ov = base.overlap_time("SrGemm", "nic_xfer")
+        pipe_ov = pipe.overlap_time("SrGemm", "nic_xfer")
+        assert pipe_ov > base_ov * 1.5
+
+    def test_variants_converge_when_compute_bound(self):
+        """Figure 4/7: beyond the crossover the optimizations stop
+        mattering."""
+        t = {v: hollow_run(v, nb=192, nodes=4, rpn=4).report.elapsed
+             for v in ("baseline", "async")}
+        # Compute-bound: baseline within 20% of async.
+        assert t["baseline"] < t["async"] * 1.25
+
+    def test_async_advantage_grows_with_nodes(self):
+        """Strong-scaling behaviour behind Figure 8: 1.6x at small
+        node counts growing with scale (paper: 4.6x at 256 nodes)."""
+        def speedup(nodes):
+            b = hollow_run("baseline", nodes=nodes).report.elapsed
+            a = hollow_run("async", nodes=nodes).report.elapsed
+            return b / a
+
+        assert speedup(16) > speedup(4)
+
+    def test_reordering_reduces_nic_traffic_under_ring(self):
+        """§3.4: the K_r ≈ K_c placement lowers internode volume and
+        the busiest NIC's share.  (With rotating-root binomial trees
+        the summed volume is placement-invariant; the ring broadcast -
+        one send per rank - is where placement shows up as volume,
+        which is why the paper stacks +Async on +Reordering.)"""
+        from repro.core import ProcessGrid, tiled_placement
+        from repro.core.placement import contiguous_placement
+
+        g = ProcessGrid(8, 8)
+        contig = hollow_run("async", nodes=16,
+                            placement=contiguous_placement(g, 4)).report
+        tiled = hollow_run("async", nodes=16,
+                           placement=tiled_placement(g, 2, 2)).report
+        assert tiled.internode_bytes < 0.9 * contig.internode_bytes
+        assert tiled.max_node_nic_bytes < 0.9 * contig.max_node_nic_bytes
+
+    def test_reordering_improves_pipelined_runtime(self):
+        """Even with the tree broadcast, the square node grid shortens
+        the run (Fig. 4's +Reordering over Pipelined)."""
+        contig = hollow_run("pipelined", nodes=16).report.elapsed
+        tiled = hollow_run("reordering", nodes=16).report.elapsed
+        assert tiled < contig
+
+    def test_offload_close_to_baseline(self):
+        """Me-ParallelFw pays a bounded premium over the in-GPU
+        baseline (paper: ~20% end to end, 80% of Co-ParallelFw)."""
+        base = hollow_run("baseline", nb=96, nodes=4).report.elapsed
+        off = hollow_run("offload", nb=96, nodes=4,
+                         mx_blocks=8, nx_blocks=8).report.elapsed
+        assert off < base * 1.6
+        assert off > base * 0.8
+
+
+class TestReportMetrics:
+    def test_min_pernode_volume(self):
+        # 4 nodes -> K = 2x2 -> n^2 * 4 bytes * (1/2 + 1/2).
+        assert min_pernode_volume_bytes(1000, 4, 4) == pytest.approx(4e6)
+        # Prime node count: best split is 1 x p.
+        assert min_pernode_volume_bytes(1000, 7, 4) == pytest.approx(
+            1e6 * 4 * (1 + 1 / 7)
+        )
+
+    def test_effective_bandwidth_definition(self):
+        res = hollow_run("async")
+        r = res.report
+        expected = min_pernode_volume_bytes(r.n_virtual, r.n_nodes, 4) / r.elapsed
+        assert r.effective_bandwidth() == pytest.approx(expected)
+
+    def test_flops_and_peak(self):
+        from repro.machine import SUMMIT
+
+        res = hollow_run("async")
+        r = res.report
+        assert r.flops == pytest.approx(2 * r.n_virtual**3)
+        pct = r.percent_of_peak(SUMMIT)
+        assert 0 < pct < 100
+
+    def test_summary_contains_key_numbers(self):
+        r = hollow_run("async").report
+        s = r.summary()
+        assert "GB/s" in s and "PF/s" in s and "async" in s
+
+    def test_counters_exposed_with_trace(self):
+        res = hollow_run("async", trace=True)
+        assert res.report.counters  # SrGemm.count etc.
+        assert res.report.counters.get("SrGemm.count", 0) > 0

@@ -1,0 +1,384 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+class TestClockAndTimeout:
+    def test_time_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_timeout_advances_clock(self, env):
+        def prog():
+            yield env.timeout(2.5)
+            return env.now
+
+        proc = env.process(prog())
+        assert env.run(proc) == 2.5
+        assert env.now == 2.5
+
+    def test_timeouts_accumulate(self, env):
+        def prog():
+            yield env.timeout(1.0)
+            yield env.timeout(0.5)
+            yield env.timeout(0.25)
+
+        env.process(prog())
+        env.run()
+        assert env.now == pytest.approx(1.75)
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_timeout_allowed(self, env):
+        def prog():
+            yield env.timeout(0)
+            return "done"
+
+        assert env.run(env.process(prog())) == "done"
+
+    def test_timeout_carries_value(self, env):
+        def prog():
+            got = yield env.timeout(1, value="payload")
+            return got
+
+        assert env.run(env.process(prog())) == "payload"
+
+    def test_run_until_time(self, env):
+        log = []
+
+        def prog():
+            for i in range(5):
+                yield env.timeout(1.0)
+                log.append(i)
+
+        env.process(prog())
+        env.run(until=2.5)
+        assert log == [0, 1]
+        assert env.now == 2.5
+
+    def test_run_until_past_raises(self, env):
+        def prog():
+            yield env.timeout(10)
+
+        env.process(prog())
+        env.run(until=5)
+        with pytest.raises(ValueError):
+            env.run(until=1)
+
+    def test_peek_empty(self, env):
+        assert env.peek() == float("inf")
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+
+        def waiter():
+            got = yield ev
+            return got
+
+        proc = env.process(waiter())
+        ev.succeed(42)
+        assert env.run(proc) == 42
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_failure_propagates_into_waiter(self, env):
+        ev = env.event()
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        proc = env.process(waiter())
+        ev.fail(RuntimeError("boom"))
+        assert env.run(proc) == "caught boom"
+
+    def test_unhandled_failure_aborts_run(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_waiting_on_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed("early")
+        env.run()  # processes ev with no waiters
+
+        def late():
+            got = yield ev
+            return got
+
+        assert env.run(env.process(late())) == "early"
+
+
+class TestProcesses:
+    def test_return_value(self, env):
+        def prog():
+            yield env.timeout(1)
+            return "result"
+
+        assert env.run(env.process(prog())) == "result"
+
+    def test_exception_propagates_to_run(self, env):
+        def prog():
+            yield env.timeout(1)
+            raise ValueError("inside process")
+
+        proc = env.process(prog())
+        with pytest.raises(ValueError, match="inside process"):
+            env.run(proc)
+
+    def test_process_waits_on_process(self, env):
+        def inner():
+            yield env.timeout(3)
+            return "inner-done"
+
+        def outer():
+            got = yield env.process(inner())
+            return (got, env.now)
+
+        assert env.run(env.process(outer())) == ("inner-done", 3)
+
+    def test_yield_from_subroutine(self, env):
+        def sub(n):
+            yield env.timeout(n)
+            return n * 2
+
+        def prog():
+            a = yield from sub(1)
+            b = yield from sub(2)
+            return a + b
+
+        assert env.run(env.process(prog())) == 6
+        assert env.now == 3
+
+    def test_yield_non_event_raises(self, env):
+        def prog():
+            yield 42
+
+        env.process(prog())
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_is_alive(self, env):
+        def prog():
+            yield env.timeout(1)
+
+        proc = env.process(prog())
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_interrupt(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        def attacker(v):
+            yield env.timeout(2)
+            v.interrupt(cause="stop now")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        assert env.run(v) == ("interrupted", "stop now", 2)
+
+    def test_interrupt_dead_process_raises(self, env):
+        def prog():
+            yield env.timeout(1)
+
+        proc = env.process(prog())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_active_process_visible(self, env):
+        seen = []
+
+        def prog():
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        proc = env.process(prog())
+        env.run()
+        assert seen == [proc]
+        assert env.active_process is None
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        def prog():
+            evs = [env.timeout(t, value=t) for t in (3, 1, 2)]
+            yield env.all_of(evs)
+            return env.now
+
+        assert env.run(env.process(prog())) == 3
+
+    def test_any_of_fires_on_first(self, env):
+        def prog():
+            evs = [env.timeout(t, value=t) for t in (3, 1, 2)]
+            yield env.any_of(evs)
+            return env.now
+
+        assert env.run(env.process(prog())) == 1
+
+    def test_all_of_with_pretriggered(self, env):
+        ev1 = env.event()
+        ev1.succeed("a")
+
+        def prog():
+            yield env.all_of([ev1, env.timeout(1, value="b")])
+            return env.now
+
+        assert env.run(env.process(prog())) == 1
+
+    def test_all_of_empty(self, env):
+        def prog():
+            yield env.all_of([])
+            return "ok"
+
+        assert env.run(env.process(prog())) == "ok"
+
+    def test_all_of_failure_propagates(self, env):
+        bad = env.event()
+
+        def prog():
+            try:
+                yield env.all_of([bad, env.timeout(5)])
+            except RuntimeError:
+                return "failed"
+
+        proc = env.process(prog())
+        bad.fail(RuntimeError("part failed"))
+        assert env.run(proc) == "failed"
+
+    def test_cross_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            env.all_of([other.event()])
+
+
+class TestDeterminism:
+    def test_same_seed_same_order(self):
+        def run_once():
+            env = Environment()
+            log = []
+
+            def prog(name, delays):
+                for d in delays:
+                    yield env.timeout(d)
+                    log.append((name, env.now))
+
+            env.process(prog("a", [1, 1, 1]))
+            env.process(prog("b", [1, 1, 1]))
+            env.process(prog("c", [0.5, 1.5, 1]))
+            env.run()
+            return log
+
+        assert run_once() == run_once()
+
+    def test_fifo_among_simultaneous(self, env):
+        """Processes scheduled at the same instant run in creation order."""
+        log = []
+
+        def prog(name):
+            yield env.timeout(1)
+            log.append(name)
+
+        for name in "abcde":
+            env.process(prog(name))
+        env.run()
+        assert log == list("abcde")
+
+    def test_deadlock_detected_by_run_until_event(self, env):
+        ev = env.event()  # never triggered
+
+        def prog():
+            yield ev
+
+        proc = env.process(prog())
+        with pytest.raises(SimulationError, match="never triggered"):
+            env.run(proc)
+
+
+class TestEngineFuzz:
+    """Randomized program fuzz: arbitrary DAGs of timeouts, processes,
+    resources and stores must run deterministically to completion."""
+
+    def _random_program(self, seed: int):
+        import numpy as np
+
+        from repro.sim import Environment, Resource, Store
+
+        rng = np.random.default_rng(seed)
+        env = Environment()
+        res = Resource(env, capacity=int(rng.integers(1, 4)))
+        store = Store(env)
+        log: list[tuple] = []
+        n_procs = int(rng.integers(2, 8))
+
+        def prog(pid: int):
+            for step in range(int(rng.integers(1, 6))):
+                action = rng.integers(0, 4)
+                if action == 0:
+                    yield env.timeout(float(rng.uniform(0, 2)))
+                elif action == 1:
+                    yield from res.use(float(rng.uniform(0, 1)))
+                elif action == 2:
+                    store.put((pid, step))
+                else:
+                    store.put((pid, "self"))
+                    got = yield store.get()
+                    log.append(("got", pid, got))
+                log.append((pid, step, round(env.now, 12)))
+
+        # rng decisions must be pre-drawn for determinism across the
+        # two runs, so materialize each program's script first.
+        procs = [env.process(prog(p), name=f"p{p}") for p in range(n_procs)]
+        env.run()
+        assert all(not p.is_alive for p in procs)
+        return log, env.now
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fuzz_terminates_and_is_deterministic(self, seed):
+        # NOTE: each call draws its own rng stream; two calls with the
+        # same seed replay the same schedule exactly.
+        log1, t1 = self._random_program(seed)
+        log2, t2 = self._random_program(seed)
+        assert t1 == t2
+        assert log1 == log2

@@ -1,0 +1,248 @@
+"""Unit tests for Resource / Store / FilterStore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import FilterStore, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, 0)
+
+    def test_grant_immediately_when_free(self, env):
+        res = Resource(env, 1)
+
+        def prog():
+            req = res.request()
+            yield req
+            assert res.count == 1
+            res.release(req)
+            assert res.count == 0
+            return env.now
+
+        assert env.run(env.process(prog())) == 0.0
+
+    def test_fifo_queueing(self, env):
+        res = Resource(env, 1)
+        order = []
+
+        def user(name, hold):
+            yield from res.use(hold)
+            order.append((name, env.now))
+
+        env.process(user("a", 2))
+        env.process(user("b", 1))
+        env.process(user("c", 1))
+        env.run()
+        assert order == [("a", 2), ("b", 3), ("c", 4)]
+
+    def test_capacity_two_runs_pairs(self, env):
+        res = Resource(env, 2)
+        done = []
+
+        def user(name):
+            yield from res.use(1)
+            done.append((name, env.now))
+
+        for name in "abcd":
+            env.process(user(name))
+        env.run()
+        assert done == [("a", 1), ("b", 1), ("c", 2), ("d", 2)]
+
+    def test_release_without_hold_raises(self, env):
+        res = Resource(env, 1)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_use_releases_on_interrupt(self, env):
+        from repro.sim import Interrupt
+
+        res = Resource(env, 1)
+
+        def victim():
+            try:
+                yield from res.use(100)
+            except Interrupt:
+                pass
+
+        def other():
+            yield from res.use(1)
+            return env.now
+
+        v = env.process(victim())
+
+        def attacker():
+            yield env.timeout(5)
+            v.interrupt()
+
+        env.process(attacker())
+        o = env.process(other())
+        env.run()
+        # After the interrupt at t=5 the resource is free; "other" then
+        # holds it for 1 time unit.
+        assert o.value == 6
+        assert res.count == 0
+
+    def test_queue_len(self, env):
+        res = Resource(env, 1)
+
+        def holder():
+            yield from res.use(10)
+
+        def waiter():
+            yield from res.use(1)
+
+        env.process(holder())
+        env.process(waiter())
+        env.process(waiter())
+        env.run(until=1)
+        assert res.queue_len == 2
+
+    def test_total_wait_time_accumulates(self, env):
+        res = Resource(env, 1)
+
+        def user(hold):
+            yield from res.use(hold)
+
+        env.process(user(3))
+        env.process(user(1))
+        env.run()
+        assert res.total_wait_time == pytest.approx(3.0)
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+
+        def prog():
+            got = yield store.get()
+            return got
+
+        assert env.run(env.process(prog())) == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def getter():
+            got = yield store.get()
+            return (got, env.now)
+
+        def putter():
+            yield env.timeout(5)
+            store.put("late")
+
+        g = env.process(getter())
+        env.process(putter())
+        assert env.run(g) == ("late", 5)
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def prog():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(prog())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestFilterStore:
+    def test_filtered_get_skips_nonmatching(self, env):
+        store = FilterStore(env)
+        store.put({"tag": 1})
+        store.put({"tag": 2})
+
+        def prog():
+            got = yield store.get(lambda m: m["tag"] == 2)
+            return got
+
+        assert env.run(env.process(prog()))["tag"] == 2
+        assert len(store) == 1  # tag 1 still there
+
+    def test_blocked_getter_wakes_on_matching_put(self, env):
+        store = FilterStore(env)
+
+        def getter():
+            got = yield store.get(lambda m: m == "wanted")
+            return (got, env.now)
+
+        def putter():
+            yield env.timeout(1)
+            store.put("other")
+            yield env.timeout(1)
+            store.put("wanted")
+
+        g = env.process(getter())
+        env.process(putter())
+        assert env.run(g) == ("wanted", 2)
+
+    def test_head_of_line_blocking_avoided(self, env):
+        """A getter deeper in the queue may match before the head
+        getter (MPI tag matching requires this)."""
+        store = FilterStore(env)
+        results = {}
+
+        def getter(name, want):
+            got = yield store.get(lambda m, w=want: m == w)
+            results[name] = (got, env.now)
+
+        env.process(getter("first", "a"))
+        env.process(getter("second", "b"))
+
+        def putter():
+            yield env.timeout(1)
+            store.put("b")  # matches the *second* getter
+            yield env.timeout(1)
+            store.put("a")
+
+        env.process(putter())
+        env.run()
+        assert results["second"] == ("b", 1)
+        assert results["first"] == ("a", 2)
+
+    def test_fifo_among_matching_getters(self, env):
+        store = FilterStore(env)
+        order = []
+
+        def getter(name):
+            yield store.get(lambda m: True)
+            order.append(name)
+
+        env.process(getter("g1"))
+        env.process(getter("g2"))
+
+        def putter():
+            yield env.timeout(1)
+            store.put(1)
+            store.put(2)
+
+        env.process(putter())
+        env.run()
+        assert order == ["g1", "g2"]
+
+    def test_unfiltered_get(self, env):
+        store = FilterStore(env)
+        store.put("only")
+
+        def prog():
+            got = yield store.get()
+            return got
+
+        assert env.run(env.process(prog())) == "only"

@@ -1,0 +1,114 @@
+"""Unit tests for the tracing layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Span, Tracer, render_gantt
+
+
+def make_tracer() -> Tracer:
+    t = Tracer()
+    t.record("gpu0", "SrGemm", "k0", 0.0, 2.0)
+    t.record("gpu0", "SrGemm", "k1", 3.0, 5.0)
+    t.record("gpu0.d2h", "d2hXfer", "x0", 1.5, 3.5)
+    t.record("host", "hostUpdate", "u0", 3.5, 4.5)
+    return t
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("a", "c", "l", 1.0, 3.5).duration == 2.5
+
+    def test_overlaps(self):
+        a = Span("x", "c", "l", 0, 2)
+        b = Span("y", "c", "l", 1, 3)
+        c = Span("z", "c", "l", 2, 4)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching endpoints do not overlap
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        t = make_tracer()
+        assert len(t.spans) == 4
+        assert len(t.spans_by_category("SrGemm")) == 2
+        assert len(t.spans_by_actor("gpu0")) == 2
+        assert t.actors() == ["gpu0", "gpu0.d2h", "host"]
+
+    def test_invalid_span_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.record("a", "c", "l", 2.0, 1.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record("a", "c", "l", 0, 1)
+        t.add("counter", 5)
+        assert t.spans == []
+        assert dict(t.counters) == {}
+
+    def test_counters(self):
+        t = Tracer()
+        t.add("msgs")
+        t.add("msgs")
+        t.add("bytes", 100)
+        assert t.counters["msgs"] == 2
+        assert t.counters["bytes"] == 100
+
+    def test_total_time(self):
+        t = make_tracer()
+        assert t.total_time("SrGemm") == pytest.approx(4.0)
+        assert t.total_time("SrGemm", actor="gpu0") == pytest.approx(4.0)
+        assert t.total_time("hostUpdate") == pytest.approx(1.0)
+
+    def test_busy_time_merges_overlaps(self):
+        t = Tracer()
+        t.record("a", "c", "l1", 0, 2)
+        t.record("a", "c", "l2", 1, 3)  # overlapping
+        t.record("a", "c", "l3", 5, 6)  # disjoint
+        assert t.busy_time("a") == pytest.approx(4.0)
+
+    def test_busy_time_category_filter(self):
+        t = make_tracer()
+        assert t.busy_time("gpu0", categories=["SrGemm"]) == pytest.approx(4.0)
+        assert t.busy_time("gpu0", categories=["other"]) == 0.0
+
+    def test_overlap_time(self):
+        t = make_tracer()
+        # SrGemm busy [0,2] u [3,5]; d2h busy [1.5,3.5]
+        # overlap = [1.5,2] + [3,3.5] = 1.0
+        assert t.overlap_time("SrGemm", "d2hXfer") == pytest.approx(1.0)
+
+    def test_overlap_time_no_overlap(self):
+        t = Tracer()
+        t.record("a", "x", "l", 0, 1)
+        t.record("b", "y", "l", 2, 3)
+        assert t.overlap_time("x", "y") == 0.0
+
+    def test_makespan(self):
+        t = make_tracer()
+        assert t.makespan() == pytest.approx(5.0)
+        assert Tracer().makespan() == 0.0
+
+
+class TestGantt:
+    def test_empty(self):
+        assert render_gantt(Tracer()) == "(empty trace)"
+
+    def test_rows_and_legend(self):
+        out = render_gantt(make_tracer(), width=40)
+        lines = out.splitlines()
+        assert any(line.startswith("gpu0 ") for line in lines)
+        assert any(line.startswith("host") for line in lines)
+        assert "legend" in lines[-1]
+        assert "S=SrGemm" in lines[-1]
+
+    def test_glyph_override(self):
+        out = render_gantt(make_tracer(), width=40, glyphs={"SrGemm": "*"})
+        assert "*" in out
+
+    def test_actor_filter(self):
+        out = render_gantt(make_tracer(), width=40, actors=["host"])
+        assert "gpu0 " not in out
+        assert "host" in out
