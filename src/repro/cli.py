@@ -4,8 +4,10 @@ Run a simulated distributed APSP from the shell::
 
     repro-apsp solve --n 128 --block 16 --variant async --nodes 4 \
         --ranks-per-node 4 --validate
+    repro-apsp solve --n 128 --kernel-backend tiled
     repro-apsp tune --n 300000 --nodes 64 --ranks-per-node 12
     repro-apsp variants
+    repro-apsp backends
 """
 
 from __future__ import annotations
@@ -54,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="track next-hop pointers (distributed path generation)")
     solve.add_argument("--sparse", action="store_true",
                        help="exploit block sparsity (skip all-infinite blocks)")
+    solve.add_argument(
+        "--kernel-backend",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="SrGemm kernel backend (see `repro-apsp backends`); default: "
+        "$REPRO_SRGEMM_BACKEND or 'reference'",
+    )
     _add_cluster_args(solve)
 
     tune = sub.add_parser("tune", help="model-driven parameter recommendation")
@@ -62,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(tune)
 
     sub.add_parser("variants", help="list solver variants")
+
+    sub.add_parser("backends", help="list SrGemm kernel backends and availability")
 
     analyze = sub.add_parser("analyze", help="graph analytics on a saved distance matrix")
     analyze.add_argument("input", type=str, help=".npz produced by solve --output")
@@ -99,6 +111,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         trace=args.trace,
         track_paths=args.paths,
         exploit_sparsity=args.sparse,
+        kernel_backend=args.kernel_backend,
     )
     print(result.report.summary())
     if args.validate:
@@ -115,14 +128,33 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
+    import numpy as np
+
     from .machine import MACHINES, CostModel
-    from .perfmodel import min_offload_block_size, tune
+    from .perfmodel import min_offload_block_size, tune, tune_kernel_tiling
 
     cost = CostModel(MACHINES[args.machine])
     report = tune(cost, args.n, args.nodes, args.ranks_per_node, offload=args.offload)
     print(report.summary())
     if args.offload:
         print(f"Eq. 5 minimum offload block size: {min_offload_block_size(cost):.0f}")
+    b = report.block_size
+    kt = tune_kernel_tiling(b, b, b, np.dtype(np.float64).itemsize)
+    print(
+        f"kernel tiling at b={b} (float64): tile {kt.tile_m}x{kt.tile_n}, "
+        f"k-chunk {kt.k_chunk}, byte budget {kt.byte_budget}"
+    )
+    return 0
+
+
+def cmd_backends(_: argparse.Namespace) -> int:
+    from .semiring.backends import default_backend_name, registered_backends
+
+    default = default_backend_name()
+    for name, backend in sorted(registered_backends().items()):
+        marker = "*" if name == default else " "
+        print(f"{marker} {name:<12s} {backend.describe()}")
+    print("\n* = default (override with --kernel-backend or $REPRO_SRGEMM_BACKEND)")
     return 0
 
 
@@ -170,6 +202,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "solve": cmd_solve,
         "tune": cmd_tune,
         "variants": cmd_variants,
+        "backends": cmd_backends,
         "placement": cmd_placement,
         "analyze": cmd_analyze,
     }

@@ -6,6 +6,10 @@ In-memory, single process, vectorized.  This is simultaneously:
 * the single-rank fast path of the public :func:`repro.apsp` API, and
 * the reference structure (DiagUpdate / PanelUpdate / MinPlus outer
   product) that the distributed rank programs mirror step for step.
+
+All SrGemm work dispatches through the pluggable kernel backends of
+:mod:`repro.semiring.backends`; pass ``backend=`` to pick one, or rely
+on the process default / ``REPRO_SRGEMM_BACKEND``.
 """
 
 from __future__ import annotations
@@ -13,8 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..semiring.backends import get_backend
 from ..semiring.closure import check_no_negative_cycle, closure_by_squaring, fw_inplace
-from ..semiring.kernels import srgemm_accumulate
 from ..semiring.minplus import MIN_PLUS, Semiring
 from .distribution import block_slice, pad_to_blocks
 
@@ -27,6 +31,7 @@ def blocked_fw(
     semiring: Semiring = MIN_PLUS,
     diag_via_squaring: bool = False,
     check_negative_cycles: bool = True,
+    backend=None,
 ) -> np.ndarray:
     """Blocked Floyd-Warshall; returns the full APSP distance matrix.
 
@@ -42,10 +47,13 @@ def blocked_fw(
         ``ceil(log2 b)`` squarings) instead of the classic k-loop.
         Results are identical for zero-diagonal inputs; this flag exists
         so tests can pin that equivalence.
+    backend:
+        SrGemm kernel backend (name or instance); ``None`` resolves the
+        process default.
     """
     padded, n = pad_to_blocks(np.asarray(weights), block_size, semiring)
     dist = np.array(padded, dtype=semiring.dtype, copy=True)
-    blocked_fw_inplace(dist, block_size, semiring, diag_via_squaring)
+    blocked_fw_inplace(dist, block_size, semiring, diag_via_squaring, backend=backend)
     dist = dist[:n, :n]
     if check_negative_cycles and semiring is MIN_PLUS:
         check_no_negative_cycle(dist)
@@ -57,6 +65,7 @@ def blocked_fw_inplace(
     b: int,
     semiring: Semiring = MIN_PLUS,
     diag_via_squaring: bool = False,
+    backend=None,
 ) -> np.ndarray:
     """Algorithm 2 on a block-divisible matrix, in place."""
     n = dist.shape[0]
@@ -64,26 +73,27 @@ def blocked_fw_inplace(
         raise ConfigurationError(f"distance matrix must be square, got {dist.shape}")
     if n % b:
         raise ConfigurationError(f"block size {b} does not divide n={n}")
+    kernels = get_backend(backend)
     nb = n // b
-    plus = semiring.plus
     for k in range(nb):
         kk = block_slice(b, k, k)
         # --- Diagonal update -------------------------------------------
         if diag_via_squaring:
-            dist[kk] = closure_by_squaring(dist[kk], semiring=semiring)
+            dist[kk] = closure_by_squaring(dist[kk], semiring=semiring, backend=kernels)
         else:
             fw_inplace(dist[kk], semiring=semiring)
-        diag = dist[kk]
-        # --- Panel update ----------------------------------------------
-        # Row panel: A(k, j) ← A(k, j) ⊕ A(k, k) ⊗ A(k, j), all j ≠ k at
-        # once (one wide SrGemm, like the aggregated GPU kernel).
-        row = dist[k * b : (k + 1) * b, :]
-        plus(row, _minplus(diag, row, semiring), out=row)
-        col = dist[:, k * b : (k + 1) * b]
-        plus(col, _minplus(col, diag, semiring), out=col)
-        # The two wide updates above also touched block (k,k) itself;
-        # that is harmless (⊕ idempotent, diag already closed) and
+        # The wide panels below include block (k,k) itself, so the
+        # closed diagonal is snapshotted once (b x b) to keep the
+        # panel-update operands alias-free; updating block (k,k) along
+        # with the panel is harmless (⊕ idempotent, diag closed) and
         # matches what a GPU implementation does to stay uniform.
+        diag = dist[kk].copy()
+        # --- Panel update ----------------------------------------------
+        # Row panel: A(k, j) ← A(k, j) ⊕ A(k, k) ⊗ A(k, j), all j at
+        # once (one wide fused SrGemm, like the aggregated GPU kernel);
+        # the backend owns the panel-aliasing snapshot.
+        kernels.panel_row_update(dist[k * b : (k + 1) * b, :], diag, semiring=semiring)
+        kernels.panel_col_update(dist[:, k * b : (k + 1) * b], diag, semiring=semiring)
         # --- Min-plus outer product ----------------------------------------
         colk = dist[:, k * b : (k + 1) * b].copy()
         rowk = dist[k * b : (k + 1) * b, :].copy()
@@ -91,20 +101,15 @@ def blocked_fw_inplace(
         # outer product must not re-update the panels with stale data -
         # but since ⊕ is idempotent and the panels are already closed
         # over block k, a full-matrix update is both correct and simpler.
-        srgemm_accumulate(dist, colk, rowk, semiring=semiring)
+        kernels.srgemm_accumulate(dist, colk, rowk, semiring=semiring)
     return dist
-
-
-def _minplus(a: np.ndarray, bmat: np.ndarray, semiring: Semiring) -> np.ndarray:
-    from ..semiring.kernels import srgemm
-
-    return srgemm(a, bmat, semiring=semiring)
 
 
 def blocked_fw_paths(
     weights: np.ndarray,
     block_size: int,
     check_negative_cycles: bool = True,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Blocked Floyd-Warshall carrying next-hop pointers ((min,+) only).
 
@@ -115,13 +120,9 @@ def blocked_fw_paths(
     oracle for the distributed ``track_paths`` mode and the
     single-process fast path.
     """
-    from ..semiring.path_kernels import (
-        NO_HOP,
-        fw_inplace_paths,
-        init_next_hops,
-        srgemm_accumulate_paths,
-    )
+    from ..semiring.path_kernels import NO_HOP, fw_inplace_paths, init_next_hops
 
+    kernels = get_backend(backend)
     padded, n = pad_to_blocks(np.asarray(weights), block_size, MIN_PLUS)
     dist = np.array(padded, dtype=np.float64, copy=True)
     nxt = init_next_hops(dist)
@@ -137,12 +138,12 @@ def blocked_fw_paths(
         diag, diag_nxt = blk(dist, k, k), blk(nxt, k, k)
         for j in range(nb):
             if j != k:
-                srgemm_accumulate_paths(
+                kernels.srgemm_accumulate_paths(
                     blk(dist, k, j), blk(nxt, k, j), diag, diag_nxt, blk(dist, k, j).copy()
                 )
         for i in range(nb):
             if i != k:
-                srgemm_accumulate_paths(
+                kernels.srgemm_accumulate_paths(
                     blk(dist, i, k),
                     blk(nxt, i, k),
                     blk(dist, i, k).copy(),
@@ -156,7 +157,7 @@ def blocked_fw_paths(
             for j in range(nb):
                 if j == k:
                     continue
-                srgemm_accumulate_paths(
+                kernels.srgemm_accumulate_paths(
                     blk(dist, i, j), blk(nxt, i, j), a, a_nxt, blk(dist, k, j)
                 )
     dist, nxt = dist[:n, :n], nxt[:n, :n]

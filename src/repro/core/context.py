@@ -26,9 +26,9 @@ from ..machine.gpu import CudaStream, SimGPU
 from ..machine.host import HostCpu
 from ..mpi.collectives import bcast_ring, bcast_ring_segmented, bcast_tree
 from ..mpi.comm import Comm, SimMPI
+from ..semiring.backends import KernelBackend, get_backend
 from ..semiring.closure import fw_inplace, squaring_steps
-from ..semiring.path_kernels import fw_inplace_paths, srgemm_accumulate_paths
-from ..semiring.kernels import srgemm_accumulate
+from ..semiring.path_kernels import fw_inplace_paths
 from ..semiring.minplus import MIN_PLUS, Semiring
 from ..sim.engine import Environment, Event
 from ..sim.trace import Tracer
@@ -106,6 +106,12 @@ class SolverConfig:
     #: this to sweep paper-scale block counts cheaply; the result
     #: matrix is then meaningless and must not be collected.
     compute_numerics: bool = True
+    #: SrGemm kernel backend name (see :mod:`repro.semiring.backends`);
+    #: None resolves the process default (``REPRO_SRGEMM_BACKEND`` /
+    #: ``reference``).  Every SrGemm this run performs - panel updates,
+    #: outer products, path kernels, the offload pipeline - goes
+    #: through the selected backend.
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self):
         if self.block_size < 1:
@@ -163,6 +169,10 @@ class FwContext:
         self.nb = nb
         self.tracer = tracer
         self.cost: CostModel = cluster.cost
+        #: Resolved SrGemm kernel backend for this run (resolution
+        #: happens once, here, so every rank program and the offload
+        #: pipeline agree on one kernel).
+        self.backend: KernelBackend = get_backend(config.kernel_backend)
         self.world = mpi.world()
         #: Unlocalized row/column communicators, by grid row/col index.
         self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]
@@ -346,16 +356,26 @@ def panel_update_row(state: RankState, k: int, diag: np.ndarray) -> Optional[Eve
         def fn():
             for j in cols:
                 blk = state.blocks[(k, j)]
-                srgemm_accumulate_paths(blk, state.nxt[(k, j)], d, d_nxt, blk.copy())
+                ctx.backend.srgemm_accumulate_paths(
+                    blk, state.nxt[(k, j)], d, d_nxt, blk.copy()
+                )
 
     else:
 
         def fn():
             for j in cols:
-                blk = state.blocks[(k, j)]
-                srgemm_accumulate(blk, diag, blk.copy(), semiring=ctx.semiring)
+                # The block is both accumulator and right operand; the
+                # backend owns the aliasing snapshot.
+                ctx.backend.panel_row_update(state.blocks[(k, j)], diag, semiring=ctx.semiring)
 
-    return state.stream.kernel(b, b * len(cols), b, f"PanelUpdateRow({k})", maybe(ctx, fn))
+    return state.stream.kernel(
+        b,
+        b * len(cols),
+        b,
+        f"PanelUpdateRow({k})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
+    )
 
 
 def panel_update_col(state: RankState, k: int, diag: np.ndarray) -> Optional[Event]:
@@ -375,7 +395,7 @@ def panel_update_col(state: RankState, k: int, diag: np.ndarray) -> Optional[Eve
         def fn():
             for i in rows:
                 blk = state.blocks[(i, k)]
-                srgemm_accumulate_paths(
+                ctx.backend.srgemm_accumulate_paths(
                     blk, state.nxt[(i, k)], blk.copy(), state.nxt[(i, k)].copy(), d
                 )
 
@@ -383,10 +403,16 @@ def panel_update_col(state: RankState, k: int, diag: np.ndarray) -> Optional[Eve
 
         def fn():
             for i in rows:
-                blk = state.blocks[(i, k)]
-                srgemm_accumulate(blk, blk.copy(), diag, semiring=ctx.semiring)
+                ctx.backend.panel_col_update(state.blocks[(i, k)], diag, semiring=ctx.semiring)
 
-    return state.stream.kernel(b * len(rows), b, b, f"PanelUpdateCol({k})", maybe(ctx, fn))
+    return state.stream.kernel(
+        b * len(rows),
+        b,
+        b,
+        f"PanelUpdateCol({k})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
+    )
 
 
 def panel_bcast(state: RankState, k: int):
@@ -509,7 +535,7 @@ def outer_update(
             for i in rows:
                 a_ik, a_nxt = col_panel[i]
                 for j in cols:
-                    srgemm_accumulate_paths(
+                    ctx.backend.srgemm_accumulate_paths(
                         state.blocks[(i, j)], state.nxt[(i, j)], a_ik, a_nxt, row_panel[j]
                     )
 
@@ -519,10 +545,15 @@ def outer_update(
             for i in rows:
                 a_ik = col_panel[i]
                 for j in cols:
-                    srgemm_accumulate(
+                    ctx.backend.srgemm_accumulate(
                         state.blocks[(i, j)], a_ik, row_panel[j], semiring=ctx.semiring
                     )
 
     return state.stream.kernel(
-        b * len(rows), b * len(cols), b, f"OuterUpdate({k})", maybe(ctx, fn)
+        b * len(rows),
+        b * len(cols),
+        b,
+        f"OuterUpdate({k})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
     )

@@ -117,6 +117,7 @@ def apsp(
     stragglers: Optional[dict[int, float]] = None,
     track_paths: bool = False,
     exploit_sparsity: bool = False,
+    kernel_backend: Optional[str] = None,
 ) -> ApspResult:
     """Solve all-pairs shortest paths on the simulated cluster.
 
@@ -158,6 +159,11 @@ def apsp(
         (distributed shortest-path generation, the paper's future
         work); the result's ``next_hops`` is then the full pointer
         matrix.  (min,+) only; not supported by the offload variant.
+    kernel_backend:
+        SrGemm kernel backend name (see
+        :mod:`repro.semiring.backends`); None resolves the process
+        default.  The validation oracle runs on the same backend, so
+        validation isolates schedule bugs from kernel differences.
 
     Raises
     ------
@@ -211,6 +217,7 @@ def apsp(
             track_paths=track_paths,
             exploit_sparsity=exploit_sparsity,
             compute_numerics=compute_numerics,
+            kernel_backend=kernel_backend,
         ),
     )
     if track_paths and not compute_numerics:
@@ -282,7 +289,9 @@ def apsp(
         if check_negative_cycles and semiring is MIN_PLUS:
             check_no_negative_cycle(dist)
     if validate:
-        oracle = blocked_fw(w, b, semiring=semiring, check_negative_cycles=False)
+        oracle = blocked_fw(
+            w, b, semiring=semiring, check_negative_cycles=False, backend=ctx.backend
+        )
         if not np.allclose(dist, oracle, equal_nan=True):
             bad = int(np.sum(~np.isclose(dist, oracle, equal_nan=True)))
             raise ValidationError(

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..semiring.kernels import srgemm_accumulate
 from ..semiring.minplus import Semiring
 from .context import (
     RankState,
@@ -79,10 +78,16 @@ def _offload_panel_row(state: RankState, k: int, diag: np.ndarray):
 
     def fn():
         for j in cols:
-            blk = state.blocks[(k, j)]
-            srgemm_accumulate(blk, diag, blk.copy(), semiring=ctx.semiring)
+            ctx.backend.panel_row_update(state.blocks[(k, j)], diag, semiring=ctx.semiring)
 
-    s.kernel(b, b * len(cols), b, f"PanelUpdateRow({k})", maybe(ctx, fn))
+    s.kernel(
+        b,
+        b * len(cols),
+        b,
+        f"PanelUpdateRow({k})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
+    )
     s.d2h(b, b * len(cols), label=f"d2h:rowpanel{k}")
     yield s.synchronize()
 
@@ -99,10 +104,16 @@ def _offload_panel_col(state: RankState, k: int, diag: np.ndarray):
 
     def fn():
         for i in rows:
-            blk = state.blocks[(i, k)]
-            srgemm_accumulate(blk, blk.copy(), diag, semiring=ctx.semiring)
+            ctx.backend.panel_col_update(state.blocks[(i, k)], diag, semiring=ctx.semiring)
 
-    s.kernel(b * len(rows), b, b, f"PanelUpdateCol({k})", maybe(ctx, fn))
+    s.kernel(
+        b * len(rows),
+        b,
+        b,
+        f"PanelUpdateCol({k})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
+    )
     s.d2h(b * len(rows), b, label=f"d2h:colpanel{k}")
     yield s.synchronize()
 
@@ -137,7 +148,7 @@ def _outer_tiles(
                 a = np.vstack([col_panel[i] for i in rows])
                 bmat = np.hstack([row_panel[j] for j in cols])
                 x = semiring.zeros((a.shape[0], bmat.shape[1]), dtype=a.dtype)
-                return srgemm_accumulate(x, a, bmat, semiring=semiring)
+                return ctx.backend.srgemm_accumulate(x, a, bmat, semiring=semiring)
 
             def apply(x, rows=rows, cols=cols):
                 for ri, i in enumerate(rows):
@@ -156,6 +167,7 @@ def _outer_tiles(
                     compute=maybe(ctx, compute),
                     apply=maybe(ctx, apply),
                     label=f"outer{k}[{ci},{cj}]",
+                    cost_scale=ctx.backend.modeled_cost_scale,
                 )
             )
     return tiles

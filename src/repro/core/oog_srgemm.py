@@ -27,7 +27,7 @@ import numpy as np
 
 from ..machine.gpu import SimGPU
 from ..machine.host import HostCpu
-from ..semiring.kernels import srgemm_accumulate
+from ..semiring.backends import get_backend
 from ..semiring.minplus import MIN_PLUS, Semiring
 from ..sim.engine import Environment, Event
 
@@ -51,6 +51,9 @@ class TileTask:
     #: Real update C_ij ⊕= X; runs at hostUpdate completion.
     apply: Optional[Callable[[np.ndarray], None]] = None
     label: str = "tile"
+    #: Modeled-duration multiplier for this tile's kernel (the kernel
+    #: backend's ``modeled_cost_scale``).
+    cost_scale: float = 1.0
 
 
 @dataclass
@@ -110,7 +113,15 @@ def run_oog_pipeline(
                 h2d_done[key] = ev
                 stats.h2d_bytes_virtual += cost.bytes_of(rows, cols)
             deps.append(ev)
-        kev = stream.kernel(tile.m, tile.n, tile.k, label=tile.label, fn=tile.compute, after=deps)
+        kev = stream.kernel(
+            tile.m,
+            tile.n,
+            tile.k,
+            label=tile.label,
+            fn=tile.compute,
+            after=deps,
+            cost_scale=tile.cost_scale,
+        )
         stats.flops_virtual += 2.0 * cost.v(tile.m) * cost.v(tile.n) * cost.v(tile.k)
         # The d2h op's value is the kernel's result (the X buffer).
         d2h_events[t] = stream.d2h(
@@ -146,6 +157,7 @@ def oog_srgemm_plan(
     mx: int,
     nx: int,
     semiring: Semiring = MIN_PLUS,
+    backend=None,
 ) -> list[TileTask]:
     """Tile plan for a standalone ``C ← C ⊕ A ⊗ B`` on raw arrays.
 
@@ -153,8 +165,10 @@ def oog_srgemm_plan(
     nx-chunks (paper §4.3); C tiles are visited row-major, so A_i is
     loaded when its first tile runs and B_j on the top tile row,
     matching the §4.4 panel-pipelining.  This is the micro-benchmark
-    path behind Figures 5 and 6.
+    path behind Figures 5 and 6.  ``backend`` selects the SrGemm kernel
+    backend each tile's compute runs on.
     """
+    kernels = get_backend(backend)
     m, kk = a.shape
     k2, n = b.shape
     if kk != k2 or c.shape != (m, n):
@@ -172,7 +186,7 @@ def oog_srgemm_plan(
 
             def compute(i0=i0, i1=i1, j0=j0, j1=j1):
                 x = semiring.zeros((i1 - i0, j1 - j0), dtype=c.dtype)
-                return srgemm_accumulate(x, a[i0:i1], b[:, j0:j1], semiring=semiring)
+                return kernels.srgemm_accumulate(x, a[i0:i1], b[:, j0:j1], semiring=semiring)
 
             def apply(x, i0=i0, i1=i1, j0=j0, j1=j1):
                 semiring.plus(c[i0:i1, j0:j1], x, out=c[i0:i1, j0:j1])
@@ -186,6 +200,7 @@ def oog_srgemm_plan(
                     compute=compute,
                     apply=apply,
                     label=f"C[{i0},{j0}]",
+                    cost_scale=kernels.modeled_cost_scale,
                 )
             )
     return tiles

@@ -20,8 +20,6 @@ With the tree it is the plain ``Pipelined`` variant.
 
 from __future__ import annotations
 
-from ..semiring.kernels import srgemm_accumulate
-from ..semiring.path_kernels import srgemm_accumulate_paths
 from .context import (
     RankState,
     maybe,
@@ -47,15 +45,22 @@ def _lookahead_diag(state: RankState, k: int, row_panel, col_panel):
         nblk = state.nxt[(k + 1, k + 1)]
 
         def fn():
-            srgemm_accumulate_paths(blk, nblk, a, a_nxt, bmat)
+            ctx.backend.srgemm_accumulate_paths(blk, nblk, a, a_nxt, bmat)
 
     else:
         a = col_panel[k + 1]
 
         def fn():
-            srgemm_accumulate(blk, a, bmat, semiring=ctx.semiring)
+            ctx.backend.srgemm_accumulate(blk, a, bmat, semiring=ctx.semiring)
 
-    return state.stream.kernel(ctx.b, ctx.b, ctx.b, f"LookaheadDiag({k + 1})", maybe(ctx, fn))
+    return state.stream.kernel(
+        ctx.b,
+        ctx.b,
+        ctx.b,
+        f"LookaheadDiag({k + 1})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
+    )
 
 
 def _lookahead_row(state: RankState, k: int, row_panel, col_panel):
@@ -73,7 +78,7 @@ def _lookahead_row(state: RankState, k: int, row_panel, col_panel):
 
         def fn():
             for j in cols:
-                srgemm_accumulate_paths(
+                ctx.backend.srgemm_accumulate_paths(
                     state.blocks[(k + 1, j)], state.nxt[(k + 1, j)], a, a_nxt, row_panel[j]
                 )
 
@@ -82,10 +87,17 @@ def _lookahead_row(state: RankState, k: int, row_panel, col_panel):
 
         def fn():
             for j in cols:
-                srgemm_accumulate(state.blocks[(k + 1, j)], a, row_panel[j], semiring=ctx.semiring)
+                ctx.backend.srgemm_accumulate(
+                    state.blocks[(k + 1, j)], a, row_panel[j], semiring=ctx.semiring
+                )
 
     return state.stream.kernel(
-        ctx.b, ctx.b * len(cols), ctx.b, f"LookaheadRow({k + 1})", maybe(ctx, fn)
+        ctx.b,
+        ctx.b * len(cols),
+        ctx.b,
+        f"LookaheadRow({k + 1})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
     )
 
 
@@ -105,7 +117,7 @@ def _lookahead_col(state: RankState, k: int, row_panel, col_panel):
         def fn():
             for i in rows:
                 a, a_nxt = col_panel[i]
-                srgemm_accumulate_paths(
+                ctx.backend.srgemm_accumulate_paths(
                     state.blocks[(i, k + 1)], state.nxt[(i, k + 1)], a, a_nxt, bmat
                 )
 
@@ -113,10 +125,17 @@ def _lookahead_col(state: RankState, k: int, row_panel, col_panel):
 
         def fn():
             for i in rows:
-                srgemm_accumulate(state.blocks[(i, k + 1)], col_panel[i], bmat, semiring=ctx.semiring)
+                ctx.backend.srgemm_accumulate(
+                    state.blocks[(i, k + 1)], col_panel[i], bmat, semiring=ctx.semiring
+                )
 
     return state.stream.kernel(
-        ctx.b * len(rows), ctx.b, ctx.b, f"LookaheadCol({k + 1})", maybe(ctx, fn)
+        ctx.b * len(rows),
+        ctx.b,
+        ctx.b,
+        f"LookaheadCol({k + 1})",
+        maybe(ctx, fn),
+        cost_scale=ctx.backend.modeled_cost_scale,
     )
 
 

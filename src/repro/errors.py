@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "BackendUnavailableError",
     "GpuOutOfMemory",
     "NegativeCycleError",
     "ValidationError",
@@ -17,6 +18,17 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError, ValueError):
     """Invalid solver / machine / grid configuration."""
+
+
+class BackendUnavailableError(ConfigurationError):
+    """A registered SrGemm kernel backend cannot be used because its
+    soft dependency is missing (e.g. the ``compiled`` backend without
+    numba installed)."""
+
+    def __init__(self, name: str, reason: str):
+        self.backend = name
+        self.reason = reason
+        super().__init__(f"SrGemm backend {name!r} is unavailable: {reason}")
 
 
 class GpuOutOfMemory(ReproError, MemoryError):

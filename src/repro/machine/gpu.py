@@ -144,14 +144,26 @@ class CudaStream:
         label: str = "SrGemm",
         fn: Optional[Callable[[], Any]] = None,
         after: Optional[list[Event]] = None,
+        cost_scale: float = 1.0,
     ) -> Event:
         """Enqueue an SrGemm-shaped kernel of physical shape (m, n, k).
 
         ``after`` adds cross-stream dependencies, the analogue of
-        ``cudaStreamWaitEvent``.
+        ``cudaStreamWaitEvent``.  ``cost_scale`` multiplies the modeled
+        duration; kernel backends advertise it (``modeled_cost_scale``)
+        so a hypothetical slower/faster device kernel can be what-if'd
+        without recalibrating the cost model.  All shipped backends
+        model the paper's fp32 cuASR kernel and keep the neutral 1.0.
         """
+        if cost_scale <= 0:
+            raise ValueError(f"cost_scale must be positive, got {cost_scale}")
         return self._submit(
-            self.gpu.kernel_engine, self.gpu.cost.srgemm_time(m, n, k), "SrGemm", label, fn, after
+            self.gpu.kernel_engine,
+            cost_scale * self.gpu.cost.srgemm_time(m, n, k),
+            "SrGemm",
+            label,
+            fn,
+            after,
         )
 
     def kernel_time(

@@ -6,6 +6,15 @@ the GPU model executes (paper §2.6/§4.1), Floyd-Warshall on one block,
 and the closure-by-squaring DiagUpdate (paper Eq. 4).
 """
 
+from .backends import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    registered_backends,
+    set_default_backend,
+    tune_kernel_tiling,
+    use_backend,
+)
 from .closure import (
     check_no_negative_cycle,
     closure_by_squaring,
@@ -70,4 +79,11 @@ __all__ = [
     "init_next_hops",
     "srgemm_accumulate_paths",
     "fw_inplace_paths",
+    "KernelBackend",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
+    "registered_backends",
+    "available_backends",
+    "tune_kernel_tiling",
 ]

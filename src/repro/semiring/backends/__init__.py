@@ -1,0 +1,154 @@
+"""Pluggable SrGemm kernel backends and their registry.
+
+Every solver in this repo - :func:`repro.core.blocked.blocked_fw`, the
+baseline/pipelined distributed rank programs and the out-of-GPU-memory
+ooGSrGemm pipeline - bottoms out in one SrGemm kernel.  This package
+makes that kernel a pluggable *backend* (the role the cuASR/CUTLASS
+kernel plays for the paper, §2.6/§4.1) so one switch changes it
+everywhere.
+
+Shipped backends
+----------------
+``reference``
+    The original chunked 3-D broadcast kernel; the equivalence oracle.
+``tiled``
+    Cache-blocked 2-D tiling with in-place accumulation, bounded by a
+    byte budget (the default-budget analogue of CUTLASS tile staging).
+``tiled-f32``
+    The tiled kernel with an opt-in float32 compute path (~2x
+    memory-bandwidth saving, documented ``rtol = 1e-5``).
+``compiled``
+    numba-JIT fused triple loop; auto-marked unavailable when numba is
+    not installed.
+
+Selection precedence
+--------------------
+explicit ``backend=`` argument  >  :func:`set_default_backend`  >
+``REPRO_SRGEMM_BACKEND`` environment variable  >  ``"reference"``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Union
+
+import numpy as np
+
+from ...errors import BackendUnavailableError, ConfigurationError
+from .base import KernelBackend
+from .compiled import HAVE_NUMBA, CompiledBackend
+from .reference import ReferenceBackend
+from .tiled import TiledBackend
+from .tuning import (
+    DEFAULT_KERNEL_BYTE_BUDGET,
+    ENV_BYTE_BUDGET,
+    KernelTiling,
+    kernel_byte_budget,
+    tune_kernel_tiling,
+)
+
+__all__ = [
+    "KernelBackend",
+    "ReferenceBackend",
+    "TiledBackend",
+    "CompiledBackend",
+    "HAVE_NUMBA",
+    "KernelTiling",
+    "kernel_byte_budget",
+    "tune_kernel_tiling",
+    "DEFAULT_KERNEL_BYTE_BUDGET",
+    "ENV_BYTE_BUDGET",
+    "ENV_BACKEND",
+    "BUILTIN_DEFAULT_BACKEND",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
+    "default_backend_name",
+    "use_backend",
+]
+
+#: Environment variable selecting the default backend by name.
+ENV_BACKEND = "REPRO_SRGEMM_BACKEND"
+
+#: Fallback when neither the API nor the environment chooses.
+BUILTIN_DEFAULT_BACKEND = "reference"
+
+_REGISTRY: dict[str, KernelBackend] = {}
+_DEFAULT: Optional[str] = None
+
+
+def register_backend(backend: KernelBackend, overwrite: bool = False) -> KernelBackend:
+    """Add a backend to the registry under ``backend.name``."""
+    name = backend.name
+    if not name or name == "abstract":
+        raise ConfigurationError(f"backend {backend!r} has no registry name")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def registered_backends() -> dict[str, KernelBackend]:
+    """All registered backends by name, including unavailable ones."""
+    return dict(_REGISTRY)
+
+
+def available_backends() -> dict[str, KernelBackend]:
+    """The registered backends whose soft dependencies are present."""
+    return {name: b for name, b in _REGISTRY.items() if b.available}
+
+
+def default_backend_name() -> str:
+    """The name :func:`get_backend` resolves when given no name."""
+    return _DEFAULT or os.environ.get(ENV_BACKEND) or BUILTIN_DEFAULT_BACKEND
+
+
+def get_backend(name: Union[str, KernelBackend, None] = None) -> KernelBackend:
+    """Resolve a backend by name (or pass an instance through).
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names
+    and :class:`~repro.errors.BackendUnavailableError` for registered
+    backends whose dependency is missing.
+    """
+    if isinstance(name, KernelBackend):
+        backend = name
+    else:
+        resolved = name or default_backend_name()
+        backend = _REGISTRY.get(resolved)
+        if backend is None:
+            raise ConfigurationError(
+                f"unknown SrGemm backend {resolved!r}; registered: {sorted(_REGISTRY)}"
+            )
+    if not backend.available:
+        raise BackendUnavailableError(backend.name, backend.unavailable_reason or "unavailable")
+    return backend
+
+
+def set_default_backend(name: Optional[str]) -> Optional[str]:
+    """Set the process-wide default backend; returns the previous
+    explicit default (None restores env-var/builtin resolution)."""
+    global _DEFAULT
+    if name is not None:
+        get_backend(name)  # validate: must exist and be available
+    previous, _DEFAULT = _DEFAULT, name
+    return previous
+
+
+@contextmanager
+def use_backend(name: Optional[str]):
+    """Context manager: temporarily make ``name`` the default backend."""
+    previous = set_default_backend(name)
+    try:
+        yield get_backend(name)
+    finally:
+        set_default_backend(previous)
+
+
+# -- built-in registrations --------------------------------------------------
+register_backend(ReferenceBackend())
+register_backend(TiledBackend())
+register_backend(TiledBackend(compute_dtype=np.float32))  # "tiled-f32"
+register_backend(CompiledBackend())

@@ -1,0 +1,214 @@
+"""The SrGemm kernel-backend contract.
+
+A :class:`KernelBackend` is one interchangeable implementation of the
+semiring matrix-product kernels every solver in this repo bottoms out
+in - the role cuASR/CUTLASS plays for the paper (§2.6/§4.1).  Backends
+are registered with :mod:`repro.semiring.backends` and selected by
+name (API argument, ``REPRO_SRGEMM_BACKEND`` environment variable, or
+CLI flag), so one switch changes the kernel under ``blocked_fw``, the
+distributed rank programs and the ooGSrGemm offload pipeline alike.
+
+The contract
+------------
+* ``srgemm(a, b)`` - fresh-output product ``A ⊗ B``.
+* ``srgemm_accumulate(c, a, b)`` - fused in-place ``C ← C ⊕ A ⊗ B``,
+  the shape of every update in blocked Floyd-Warshall (Alg. 2).
+* ``panel_row_update(panel, diag)`` / ``panel_col_update(panel, diag)``
+  - the self-referential PanelUpdates ``P ← P ⊕ D ⊗ P`` and
+  ``P ← P ⊕ P ⊗ D``.
+* ``srgemm_accumulate_paths(...)`` - the (min,+) variant that carries
+  next-hop pointers.
+
+Aliasing contract
+-----------------
+``srgemm_accumulate`` may assume that neither ``a`` nor ``b`` shares
+memory with ``c``; behaviour under overlap is undefined.  The panel
+updates are exactly the two places the blocked algorithm violates that
+(the panel is simultaneously the accumulator and one operand), so
+*they* own the aliasing problem: a backend must snapshot, per output
+tile, **no more than the operand slice that tile still needs to read**
+before overwriting it.  The base implementation snapshots the whole
+panel (always correct); the tiled backend narrows the snapshot to one
+k-slice stripe per output stripe, bounding the copy by the byte budget
+instead of the panel size.
+
+Equivalence contract
+--------------------
+For float64 inputs a backend must match the reference backend
+*bit-for-bit* on every comparison-⊕ semiring (min/max are exact, and
+any association of an exact idempotent reduction yields the same
+value).  For non-idempotent ⊕ (``plus_times``) the association order
+may differ, so results are only ``allclose``.  A backend with a
+reduced-precision compute path advertises its tolerance via ``rtol``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..minplus import MIN_PLUS, Semiring
+from .tuning import KernelTiling, kernel_byte_budget, tune_kernel_tiling
+
+__all__ = ["KernelBackend", "validate_pair", "validate_accumulate"]
+
+
+def validate_pair(a: np.ndarray, b: np.ndarray) -> None:
+    """Shape checks shared by every backend's ``srgemm`` entry."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"srgemm operands must be 2-D, got {a.shape} and {b.shape}")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+
+
+def validate_accumulate(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+    validate_pair(a, b)
+    m, _ = a.shape
+    n = b.shape[1]
+    if c.shape != (m, n):
+        raise ValueError(f"accumulator shape {c.shape} does not match product shape {(m, n)}")
+
+
+class KernelBackend:
+    """Base class / default implementations for SrGemm backends."""
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+    #: Compute dtype the backend casts float operands to (None keeps
+    #: the operand dtype).  Advertised so call sites can reason about
+    #: precision and the cost layer about bandwidth.
+    compute_dtype: Optional[np.dtype] = None
+    #: Relative tolerance versus the reference backend (0.0 = exact on
+    #: comparison-⊕ semirings; nonzero for reduced-precision paths).
+    rtol: float = 0.0
+    #: Multiplier applied to modeled SrGemm kernel durations by the
+    #: simulated GPU (see :meth:`repro.machine.gpu.CudaStream.kernel`).
+    #: All shipped backends model the *same* paper kernel (the fp32
+    #: cuASR SrGemm the cost model is calibrated against), so they keep
+    #: the neutral 1.0; the knob exists to model hypothetical kernels
+    #: (e.g. a true-fp64 variant at ~2x memory traffic).
+    modeled_cost_scale: float = 1.0
+    #: False when a soft dependency is missing; the registry then
+    #: refuses to hand the backend out and reports ``unavailable_reason``.
+    available: bool = True
+    unavailable_reason: Optional[str] = None
+
+    def __init__(self, byte_budget: Optional[int] = None):
+        #: Per-instance budget override (None = env var / default).
+        self.byte_budget = byte_budget
+
+    # -- tiling --------------------------------------------------------------
+    def tiling(self, m: int, n: int, k: int, itemsize: int) -> KernelTiling:
+        """The auto-tuned tile/k-chunk sizes this backend will use for
+        an ``(m, n, k)`` product at the given compute itemsize."""
+        return tune_kernel_tiling(m, n, k, itemsize, self.byte_budget)
+
+    def resolved_byte_budget(self) -> int:
+        return kernel_byte_budget(self.byte_budget)
+
+    # -- the SrGemm contract -------------------------------------------------
+    def srgemm(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Return ``A ⊗ B`` as a fresh array."""
+        validate_pair(a, b)
+        m, k = a.shape
+        n = b.shape[1]
+        out = semiring.zeros((m, n), dtype=np.result_type(a.dtype, b.dtype))
+        if k == 0:
+            return out
+        return self.srgemm_accumulate(out, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def srgemm_accumulate(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """In-place fused ``C ← C ⊕ A ⊗ B``; returns ``c``.
+
+        ``a`` and ``b`` must not alias ``c`` (see the module docs).
+        ``k_chunk`` overrides the auto-tuned inner chunk where the
+        backend uses one.
+        """
+        raise NotImplementedError
+
+    def panel_row_update(
+        self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+    ) -> np.ndarray:
+        """Row-panel update ``P ← P ⊕ D ⊗ P`` in place (``diag``
+        multiplies from the left; paper Alg. 2, PanelUpdate)."""
+        if diag.shape[0] != diag.shape[1] or diag.shape[1] != panel.shape[0]:
+            raise ValueError(f"diag {diag.shape} incompatible with row panel {panel.shape}")
+        # Full-panel snapshot: always alias-safe, at panel-sized cost.
+        return self.srgemm_accumulate(panel, diag, panel.copy(), semiring=semiring)
+
+    def panel_col_update(
+        self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+    ) -> np.ndarray:
+        """Column-panel update ``P ← P ⊕ P ⊗ D`` in place (``diag``
+        multiplies from the right)."""
+        if diag.shape[0] != diag.shape[1] or panel.shape[1] != diag.shape[0]:
+            raise ValueError(f"diag {diag.shape} incompatible with column panel {panel.shape}")
+        return self.srgemm_accumulate(panel, panel.copy(), diag, semiring=semiring)
+
+    # -- path tracking -------------------------------------------------------
+    def srgemm_accumulate_paths(
+        self,
+        c: np.ndarray,
+        c_nxt: np.ndarray,
+        a: np.ndarray,
+        a_nxt: np.ndarray,
+        b: np.ndarray,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Fused (min,+) ``C ← C ⊕ A ⊗ B`` updating ``C``'s next hops.
+
+        Wherever the product improves ``C[r, c]`` through intermediate
+        ``t``, sets ``c_nxt[r, c] = a_nxt[r, t*]`` for the minimizing
+        ``t*``.  Strict improvement only, so equally-good existing
+        paths are kept and updates stay idempotent.  Path numerics
+        always run in the operand dtype (never the reduced-precision
+        compute path), and every backend walks the k-chunks produced by
+        the shared tuner in order, so hop choices are backend-invariant.
+        """
+        m, k = a.shape
+        n = b.shape[1]
+        if b.shape[0] != k or c.shape != (m, n) or c_nxt.shape != (m, n) or a_nxt.shape != (m, k):
+            raise ValueError(
+                f"shape mismatch: C{c.shape}/NC{c_nxt.shape} A{a.shape}/NA{a_nxt.shape} B{b.shape}"
+            )
+        if k == 0:
+            return c
+        itemsize = np.result_type(a.dtype, b.dtype).itemsize
+        step = k_chunk or self.tiling(m, n, k, itemsize).k_chunk
+        for k0 in range(0, k, step):
+            k1 = min(k0 + step, k)
+            cand = a[:, k0:k1, None] + b[None, k0:k1, :]  # (m, kc, n)
+            best = cand.min(axis=1)
+            arg = cand.argmin(axis=1)  # minimizing t within the chunk
+            better = best < c
+            if not better.any():
+                continue
+            c[better] = best[better]
+            # c_nxt[r, c] = a_nxt[r, k0 + arg[r, c]] where improved.
+            hop = np.take_along_axis(a_nxt, k0 + arg, axis=1)
+            c_nxt[better] = hop[better]
+        return c
+
+    # -- introspection -------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human description (CLI ``backends`` listing)."""
+        dtype = f"compute {np.dtype(self.compute_dtype).name}" if self.compute_dtype else "operand dtype"
+        status = "" if self.available else f"  [unavailable: {self.unavailable_reason}]"
+        return f"{dtype}, rtol {self.rtol:g}{status}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"

@@ -81,6 +81,7 @@ def closure_by_squaring(
     dist: np.ndarray,
     semiring: Semiring = MIN_PLUS,
     steps: Optional[int] = None,
+    backend=None,
 ) -> np.ndarray:
     """DiagUpdate via repeated squaring (paper Eq. 4).
 
@@ -103,7 +104,7 @@ def closure_by_squaring(
     for _ in range(steps):
         # out ← out ⊕ out ⊗ out; with I ⊆ out the ⊕ with the old value
         # is implied, but accumulating keeps the kernel shape uniform.
-        out = srgemm_accumulate(out.copy(), out, out, semiring=semiring)
+        out = srgemm_accumulate(out.copy(), out, out, semiring=semiring, backend=backend)
     return out
 
 

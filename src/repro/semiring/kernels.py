@@ -1,22 +1,23 @@
-"""Semiring matrix-multiplication (SrGemm) kernels.
+"""Semiring matrix-multiplication (SrGemm) kernels - backend facade.
 
 These are the compute kernels the paper offloads to the GPU via
-cuASR/CUTLASS (its §2.6/§4.1).  Here they are vectorized NumPy, generic
-over a :class:`~repro.semiring.minplus.Semiring`; the machine model in
-:mod:`repro.machine` wraps them with simulated-time costing.
-
-The triple loop ``C[i,j] = ⊕_k A[i,k] ⊗ B[k,j]`` is evaluated in
-k-chunks so the broadcast temporary stays at ``m * k_chunk * n``
-elements, the NumPy analogue of the shared-memory tiling a GPU GEMM
-performs.
+cuASR/CUTLASS (its §2.6/§4.1).  The actual implementations live in the
+pluggable backend registry of :mod:`repro.semiring.backends`
+(``reference`` broadcast oracle, cache-blocked ``tiled``, float32
+``tiled-f32``, numba ``compiled``); the module-level functions here
+keep the historical flat API and simply dispatch to the selected
+backend, so existing call sites pick up a backend switch
+(``backend=`` argument, :func:`repro.semiring.backends.set_default_backend`,
+or the ``REPRO_SRGEMM_BACKEND`` environment variable) transparently.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from .backends import KernelBackend, get_backend
 from .minplus import MIN_PLUS, Semiring
 
 __all__ = [
@@ -29,9 +30,13 @@ __all__ = [
     "DEFAULT_K_CHUNK",
 ]
 
-#: Default k-chunk: bounds the broadcast temporary at
-#: ``m * DEFAULT_K_CHUNK * n`` elements (~8 MB for 128x128 blocks).
+#: Historical default k-chunk, kept for backward compatibility.  The
+#: chunk is now auto-tuned per call from a byte budget (see
+#: :mod:`repro.semiring.backends.tuning`); 64 is what that tuner
+#: yields for 128x128 float64 blocks under the default 8 MiB budget.
 DEFAULT_K_CHUNK = 64
+
+BackendArg = Union[str, KernelBackend, None]
 
 
 def srgemm_flops(m: int, n: int, k: int) -> int:
@@ -40,18 +45,12 @@ def srgemm_flops(m: int, n: int, k: int) -> int:
     return 2 * m * n * k
 
 
-def _validate_pair(a: np.ndarray, b: np.ndarray) -> None:
-    if a.ndim != 2 or b.ndim != 2:
-        raise ValueError(f"srgemm operands must be 2-D, got {a.shape} and {b.shape}")
-    if a.shape[1] != b.shape[0]:
-        raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
-
-
 def srgemm(
     a: np.ndarray,
     b: np.ndarray,
     semiring: Semiring = MIN_PLUS,
     k_chunk: Optional[int] = None,
+    backend: BackendArg = None,
 ) -> np.ndarray:
     """Return ``A ⊗ B`` (the min-plus product for the default semiring).
 
@@ -62,15 +61,12 @@ def srgemm(
     semiring:
         Algebra to evaluate over.
     k_chunk:
-        Inner-dimension tile; ``None`` uses :data:`DEFAULT_K_CHUNK`.
+        Inner-dimension tile override; ``None`` lets the selected
+        backend auto-tune it from the byte budget.
+    backend:
+        Kernel backend name or instance; ``None`` resolves the default.
     """
-    _validate_pair(a, b)
-    m, k = a.shape
-    n = b.shape[1]
-    out = semiring.zeros((m, n), dtype=np.result_type(a.dtype, b.dtype))
-    if k == 0:
-        return out
-    return srgemm_accumulate(out, a, b, semiring=semiring, k_chunk=k_chunk)
+    return get_backend(backend).srgemm(a, b, semiring=semiring, k_chunk=k_chunk)
 
 
 def srgemm_accumulate(
@@ -79,28 +75,16 @@ def srgemm_accumulate(
     b: np.ndarray,
     semiring: Semiring = MIN_PLUS,
     k_chunk: Optional[int] = None,
+    backend: BackendArg = None,
 ) -> np.ndarray:
     """In-place fused update ``C ← C ⊕ (A ⊗ B)``; returns ``c``.
 
     This is the exact shape of every update in blocked Floyd-Warshall
     (Alg. 2): the outer product, both panel updates and the look-ahead
-    updates of the pipelined schedule are all ``C ⊕ A ⊗ B``.
+    updates of the pipelined schedule are all ``C ⊕ A ⊗ B``.  ``a`` and
+    ``b`` must not alias ``c`` (see the backend aliasing contract).
     """
-    _validate_pair(a, b)
-    m, k = a.shape
-    n = b.shape[1]
-    if c.shape != (m, n):
-        raise ValueError(f"accumulator shape {c.shape} does not match product shape {(m, n)}")
-    if k == 0:
-        return c
-    step = k_chunk or DEFAULT_K_CHUNK
-    plus, times = semiring.plus, semiring.times
-    for k0 in range(0, k, step):
-        k1 = min(k0 + step, k)
-        # (m, kc, n) broadcast temporary == the "shared memory tile".
-        partial = times(a[:, k0:k1, None], b[None, k0:k1, :])
-        plus(c, semiring.plus_reduce(partial, axis=1), out=c)
-    return c
+    return get_backend(backend).srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
 
 
 def eltwise_plus(
@@ -111,24 +95,28 @@ def eltwise_plus(
 
 
 def panel_row_update(
-    panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+    panel: np.ndarray,
+    diag: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    backend: BackendArg = None,
 ) -> np.ndarray:
     """Row-panel update ``A(k,:) ← A(k,:) ⊕ A(k,k) ⊗ A(k,:)`` in place.
 
     ``diag`` multiplies from the *left* (paper Alg. 2, PanelUpdate).
+    The panel aliases one operand; each backend handles that with the
+    narrowest snapshot its tiling needs.
     """
-    if diag.shape[0] != diag.shape[1] or diag.shape[1] != panel.shape[0]:
-        raise ValueError(f"diag {diag.shape} incompatible with row panel {panel.shape}")
-    return srgemm_accumulate(panel, diag, panel.copy(), semiring=semiring)
+    return get_backend(backend).panel_row_update(panel, diag, semiring=semiring)
 
 
 def panel_col_update(
-    panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+    panel: np.ndarray,
+    diag: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    backend: BackendArg = None,
 ) -> np.ndarray:
     """Column-panel update ``A(:,k) ← A(:,k) ⊕ A(:,k) ⊗ A(k,k)`` in place.
 
     ``diag`` multiplies from the *right* (paper Alg. 2, PanelUpdate).
     """
-    if diag.shape[0] != diag.shape[1] or panel.shape[1] != diag.shape[0]:
-        raise ValueError(f"diag {diag.shape} incompatible with column panel {panel.shape}")
-    return srgemm_accumulate(panel, panel.copy(), diag, semiring=semiring)
+    return get_backend(backend).panel_col_update(panel, diag, semiring=semiring)

@@ -19,11 +19,11 @@ general semiring ``⊕``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
-from .kernels import DEFAULT_K_CHUNK
+from .backends import KernelBackend, get_backend
 
 __all__ = [
     "NO_HOP",
@@ -60,6 +60,7 @@ def srgemm_accumulate_paths(
     a_nxt: np.ndarray,
     b: np.ndarray,
     k_chunk: Optional[int] = None,
+    backend: Union[str, KernelBackend, None] = None,
 ) -> np.ndarray:
     """Fused ``C ← C ⊕ A ⊗ B`` that also updates ``C``'s next hops.
 
@@ -67,30 +68,11 @@ def srgemm_accumulate_paths(
     ``t``, sets ``c_nxt[r, c] = a_nxt[r, t*]`` for the minimizing
     ``t*``.  Strict improvement only, so existing (equally good) paths
     are kept - updates stay idempotent, as the blocked schedules
-    require.
+    require.  Dispatches to the selected kernel backend; all backends
+    run path numerics in the operand dtype and chunk the k dimension
+    with the shared tuner, so hop choices are backend-invariant.
     """
-    m, k = a.shape
-    n = b.shape[1]
-    if b.shape[0] != k or c.shape != (m, n) or c_nxt.shape != (m, n) or a_nxt.shape != (m, k):
-        raise ValueError(
-            f"shape mismatch: C{c.shape}/NC{c_nxt.shape} A{a.shape}/NA{a_nxt.shape} B{b.shape}"
-        )
-    if k == 0:
-        return c
-    step = k_chunk or DEFAULT_K_CHUNK
-    for k0 in range(0, k, step):
-        k1 = min(k0 + step, k)
-        cand = a[:, k0:k1, None] + b[None, k0:k1, :]  # (m, kc, n)
-        best = cand.min(axis=1)
-        arg = cand.argmin(axis=1)  # minimizing t within the chunk
-        better = best < c
-        if not better.any():
-            continue
-        c[better] = best[better]
-        # c_nxt[r, c] = a_nxt[r, k0 + arg[r, c]] where improved.
-        hop = np.take_along_axis(a_nxt, k0 + arg, axis=1)
-        c_nxt[better] = hop[better]
-    return c
+    return get_backend(backend).srgemm_accumulate_paths(c, c_nxt, a, a_nxt, b, k_chunk=k_chunk)
 
 
 def fw_inplace_paths(dist: np.ndarray, nxt: np.ndarray) -> np.ndarray:
