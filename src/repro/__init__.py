@@ -13,9 +13,12 @@ Public API highlights
 """
 
 from .errors import (
+    CheckpointError,
+    CommTimeoutError,
     ConfigurationError,
     GpuOutOfMemory,
     NegativeCycleError,
+    RankFailure,
     ReproError,
     ValidationError,
 )
@@ -23,9 +26,12 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
+    "CommTimeoutError",
     "ConfigurationError",
     "GpuOutOfMemory",
     "NegativeCycleError",
+    "RankFailure",
     "ReproError",
     "ValidationError",
     "__version__",
@@ -37,7 +43,11 @@ def __getattr__(name):  # lazy imports keep `import repro` light
         from . import core
 
         return getattr(core, name)
-    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis"):
+    if name == "FaultPlan":
+        from .faults import FaultPlan
+
+        return FaultPlan
+    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis", "faults"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

@@ -64,6 +64,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="SrGemm kernel backend (see `repro-apsp backends`); default: "
         "$REPRO_SRGEMM_BACKEND or 'reference'",
     )
+    solve.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject a fault, e.g. 'drop:src=0,dst=3,nth=1', "
+        "'nic:node=0,factor=4,t0=0,t1=1e-3', 'crash:rank=2,at=1e-4', "
+        "'policy:timeout=1e-3,ckpt=4'; repeatable (see docs/FAULTS.md)",
+    )
+    solve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="C",
+        help="snapshot rank state every C outer iterations (arms fault tolerance)",
+    )
+    solve.add_argument(
+        "--recv-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated receive deadline inside broadcasts, with bounded "
+        "retry-and-retransmit on expiry (arms fault tolerance)",
+    )
+    solve.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for probabilistic fault selection"
+    )
     _add_cluster_args(solve)
 
     tune = sub.add_parser("tune", help="model-driven parameter recommendation")
@@ -112,8 +139,16 @@ def cmd_solve(args: argparse.Namespace) -> int:
         track_paths=args.paths,
         exploit_sparsity=args.sparse,
         kernel_backend=args.kernel_backend,
+        fault_plan=args.faults,
+        checkpoint_interval=args.checkpoint_interval,
+        recv_timeout=args.recv_timeout,
+        fault_seed=args.fault_seed,
     )
     print(result.report.summary())
+    if result.fault_counters:
+        print("\nfault injection / recovery:")
+        for name, value in sorted(result.fault_counters.items()):
+            print(f"  {name:<28s} {value:g}")
     if args.validate:
         print("validation: OK (matches sequential blocked Floyd-Warshall)")
     if args.trace and result.tracer is not None:
@@ -196,7 +231,39 @@ def cmd_placement(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exit_code_for(exc: Exception) -> int:
+    """Distinct, stable exit codes per failure class so scripts (and
+    the CI fault matrix) can tell *why* a run failed.  Ordered most
+    specific first - several classes subclass others."""
+    from .errors import (
+        BackendUnavailableError,
+        CheckpointError,
+        CommTimeoutError,
+        ConfigurationError,
+        GpuOutOfMemory,
+        NegativeCycleError,
+        RankFailure,
+        ValidationError,
+    )
+
+    for cls, code in (
+        (BackendUnavailableError, 6),  # before its base ConfigurationError
+        (ConfigurationError, 2),
+        (ValidationError, 3),
+        (NegativeCycleError, 4),
+        (GpuOutOfMemory, 5),
+        (CommTimeoutError, 7),
+        (RankFailure, 8),
+        (CheckpointError, 9),
+    ):
+        if isinstance(exc, cls):
+            return code
+    return 1  # any other ReproError
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .errors import ReproError
+
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": cmd_solve,
@@ -206,7 +273,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "placement": cmd_placement,
         "analyze": cmd_analyze,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return _exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

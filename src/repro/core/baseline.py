@@ -10,6 +10,7 @@ optimizations are measured against.
 
 from __future__ import annotations
 
+from ..faults.checkpoint import checkpoint_hook
 from .context import (
     RankState,
     diag_bcast,
@@ -23,10 +24,17 @@ from .context import (
 __all__ = ["baseline_program"]
 
 
-def baseline_program(state: RankState):
-    """Generator: Algorithm 3 as executed by one rank."""
+def baseline_program(state: RankState, start_k: int = 0):
+    """Generator: Algorithm 3 as executed by one rank.
+
+    ``start_k`` resumes from a checkpoint taken at the top of outer
+    iteration ``start_k`` (fault recovery); the schedule is identical
+    to a fresh run restricted to ``k >= start_k``, which is safe
+    because the top-of-loop state is exactly the post-(k-1) state.
+    """
     ctx = state.ctx
-    for k in range(ctx.nb):
+    for k in range(start_k, ctx.nb):
+        yield from checkpoint_hook(state, k)
         # --- DiagUpdate(k) + DiagBcast(k) --------------------------------
         diag = None
         if state.owns_diag(k):

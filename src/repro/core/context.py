@@ -173,6 +173,10 @@ class FwContext:
         #: happens once, here, so every rank program and the offload
         #: pipeline agree on one kernel).
         self.backend: KernelBackend = get_backend(config.kernel_backend)
+        #: Fault-injection runtime
+        #: (:class:`~repro.faults.injector.FaultRuntime`) when the run
+        #: is armed; None keeps every hook on its zero-cost path.
+        self.faults = None
         self.world = mpi.world()
         #: Unlocalized row/column communicators, by grid row/col index.
         self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]
@@ -225,6 +229,11 @@ class RankState:
         self.pending: list[Event] = []
         #: bytes of HBM charged at setup, to release at teardown.
         self.hbm_charged = 0
+        #: bytes of host DRAM charged at setup (offload runs).
+        self.dram_charged = 0
+        #: Highest outer iteration this rank has entered (maintained by
+        #: the checkpoint hook on armed runs; -1 before the first).
+        self.cur_k = -1
 
     # -- local index helpers ------------------------------------------------
     def local_rows(self, exclude: tuple[int, ...] = ()) -> list[int]:

@@ -20,18 +20,26 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError, ValidationError
+from ..errors import (
+    CheckpointError,
+    CommTimeoutError,
+    ConfigurationError,
+    GpuOutOfMemory,
+    RankFailure,
+    ValidationError,
+)
+from ..faults import CheckpointStore, FaultInjector, FaultPlan, FaultRuntime, resolve_fault_plan
 from ..machine.cluster import SimCluster
 from ..machine.cost import CostModel
 from ..machine.spec import SUMMIT, MachineSpec
 from ..mpi.comm import SimMPI
 from ..semiring.closure import check_no_negative_cycle
 from ..semiring.minplus import MIN_PLUS, Semiring
-from ..sim.engine import Environment
+from ..sim.engine import Environment, Interrupt
 from ..sim.trace import Tracer
 from .baseline import baseline_program
 from .blocked import blocked_fw
@@ -63,6 +71,9 @@ class ApspResult:
     #: Next-hop pointers (only when ``track_paths=True``): the vertex
     #: after i on a shortest i->j path, -1 where none.
     next_hops: Optional[np.ndarray] = None
+    #: ``faults.*`` injection/recovery counters (only when the run was
+    #: armed with a fault plan); None on plain runs.
+    fault_counters: Optional[dict[str, float]] = None
 
 
 def default_block_size(n: int, grid: ProcessGrid) -> int:
@@ -118,6 +129,10 @@ def apsp(
     track_paths: bool = False,
     exploit_sparsity: bool = False,
     kernel_backend: Optional[str] = None,
+    fault_plan: Union[FaultPlan, Sequence[str], str, None] = None,
+    checkpoint_interval: Optional[int] = None,
+    recv_timeout: Optional[float] = None,
+    fault_seed: int = 0,
 ) -> ApspResult:
     """Solve all-pairs shortest paths on the simulated cluster.
 
@@ -164,12 +179,23 @@ def apsp(
         :mod:`repro.semiring.backends`); None resolves the process
         default.  The validation oracle runs on the same backend, so
         validation isolates schedule bugs from kernel differences.
+    fault_plan:
+        A :class:`~repro.faults.FaultPlan`, CLI-style spec string(s)
+        (see :mod:`repro.faults.plan`), or None to consult
+        ``$REPRO_FAULT_PLAN``.  An armed plan routes the run through
+        the fault injector and the checkpoint/restart recovery loop;
+        unarmed runs are event-for-event identical to runs without
+        this feature.
+    checkpoint_interval, recv_timeout, fault_seed:
+        Recovery-policy shortcuts layered over ``fault_plan``
+        (equivalent to a ``policy:`` spec).
 
     Raises
     ------
     GpuOutOfMemory
         For non-offload variants whose per-rank matrix does not fit in
-        (virtual) HBM - use ``variant="offload"``.
+        (virtual) HBM - use ``variant="offload"`` (or arm a fault plan
+        with ``oom_degrade``, which restarts under offload).
     """
     w = np.asarray(weights)
     if w.ndim != 2 or w.shape[0] != w.shape[1]:
@@ -223,6 +249,21 @@ def apsp(
     if track_paths and not compute_numerics:
         raise ConfigurationError("track_paths requires compute_numerics=True")
 
+    plan = resolve_fault_plan(fault_plan, seed=fault_seed)
+    if checkpoint_interval is not None or recv_timeout is not None:
+        overrides: dict[str, object] = {}
+        if checkpoint_interval is not None:
+            overrides["checkpoint_interval"] = checkpoint_interval
+        if recv_timeout is not None:
+            overrides["recv_timeout"] = recv_timeout
+        plan = (plan if plan is not None else FaultPlan(seed=fault_seed)).replace(**overrides)
+        if not plan.armed():
+            plan = None
+    if plan is not None:
+        for c in plan.crashes:
+            if not 0 <= c.rank < n_ranks:
+                raise ConfigurationError(f"crash rank {c.rank} outside world of {n_ranks}")
+
     env = Environment()
     tracer = Tracer(enabled=trace)
     cost = CostModel(machine, dim_scale=dim_scale)
@@ -233,52 +274,89 @@ def apsp(
                  tracer if trace else None)
     ctx = FwContext(env, cluster, mpi, grid, placement, config, nb,
                     tracer if trace else None)
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, tracer if trace else None)
+        injector.attach(mpi)
+        mpi.injector = injector
+        cluster.injector = injector
+        ctx.faults = FaultRuntime(injector, CheckpointStore())
 
     locals_ = distribute(padded, b, grid)
+    nxt_locals = None
     if track_paths:
         from ..semiring.path_kernels import NO_HOP, init_next_hops
 
         nxt_global = init_next_hops(padded)
         np.fill_diagonal(nxt_global, NO_HOP)
         nxt_locals = distribute(nxt_global, b, grid)
+
+    def teardown_states(states: list[RankState]) -> None:
+        for state in states:
+            if state.hbm_charged:
+                state.gpu.dealloc(state.hbm_charged)
+                state.hbm_charged = 0
+            if state.dram_charged:
+                state.host.dealloc(state.dram_charged)
+                state.dram_charged = 0
+
+    def build_states(cfg: SolverConfig, blocks_by_rank, nxt_by_rank) -> list[RankState]:
         states = [
-            RankState(ctx, r, locals_[r], nxt=nxt_locals[r]) for r in range(n_ranks)
+            RankState(ctx, r, blocks_by_rank[r],
+                      nxt=None if nxt_by_rank is None else nxt_by_rank[r])
+            for r in range(n_ranks)
         ]
+        # -- memory accounting (where Figure 7's feasibility wall comes from)
+        try:
+            for state in states:
+                elems = local_matrix_elems(state.me, nb, b, grid)
+                rows = len(state.local_rows())
+                cols = len(state.local_cols())
+                assert elems == rows * cols * b * b
+                if cfg.offload:
+                    state.dram_charged = int(cost.bytes_of(rows * b, cols * b))
+                    state.host.alloc(state.dram_charged, "local distance matrix")
+                    state.hbm_charged = state.gpu.alloc(
+                        offload_gpu_footprint(state), f"rank {state.me} offload buffers"
+                    )
+                else:
+                    footprint = (
+                        cost.gpu_bytes(rows * b, cols * b)  # local matrix
+                        + cost.gpu_bytes(b, cols * b)  # received row panel
+                        + cost.gpu_bytes(rows * b, b)  # received column panel
+                        + cost.gpu_bytes(b, b)  # diagonal block
+                    )
+                    if track_paths:
+                        # int64 pointer blocks cost 2x the float32 distances.
+                        footprint *= 3
+                    state.hbm_charged = state.gpu.alloc(
+                        footprint, f"rank {state.me} matrix+panels"
+                    )
+        except GpuOutOfMemory:
+            teardown_states(states)  # roll back the partial charges
+            raise
+        return states
+
+    def program_for(cfg: SolverConfig):
+        return offload_program if cfg.offload else (
+            pipelined_program if cfg.pipelined else baseline_program
+        )
+
+    run_config = config
+    if ctx.faults is None:
+        states = build_states(config, locals_, nxt_locals)
+        program = program_for(config)
+        procs = [env.process(program(state), name=f"rank{state.me}") for state in states]
+        env.run()
+        for p in procs:
+            if not p.processed or not p.ok:  # pragma: no cover - defensive
+                raise RuntimeError(f"rank program {p.name} did not complete cleanly")
+        elapsed = env.now
     else:
-        states = [RankState(ctx, r, locals_[r]) for r in range(n_ranks)]
-
-    # -- memory accounting (where Figure 7's feasibility wall comes from) --
-    for state in states:
-        elems = local_matrix_elems(state.me, nb, b, grid)
-        rows = len(state.local_rows())
-        cols = len(state.local_cols())
-        if config.offload:
-            state.host.alloc(int(cost.bytes_of(rows * b, cols * b)), "local distance matrix")
-            state.hbm_charged = state.gpu.alloc(
-                offload_gpu_footprint(state), f"rank {state.me} offload buffers"
-            )
-        else:
-            footprint = (
-                cost.gpu_bytes(rows * b, cols * b)  # local matrix
-                + cost.gpu_bytes(b, cols * b)  # received row panel
-                + cost.gpu_bytes(rows * b, b)  # received column panel
-                + cost.gpu_bytes(b, b)  # diagonal block
-            )
-            if track_paths:
-                # int64 pointer blocks cost 2x the float32 distances.
-                footprint *= 3
-            state.hbm_charged = state.gpu.alloc(footprint, f"rank {state.me} matrix+panels")
-        assert elems == rows * cols * b * b
-
-    program = offload_program if config.offload else (
-        pipelined_program if config.pipelined else baseline_program
-    )
-    procs = [env.process(program(state), name=f"rank{state.me}") for state in states]
-    env.run()
-    for p in procs:
-        if not p.processed or not p.ok:  # pragma: no cover - defensive
-            raise RuntimeError(f"rank program {p.name} did not complete cleanly")
-    elapsed = env.now
+        states, elapsed, run_config = _run_with_recovery(
+            ctx, plan, injector, config, locals_, nxt_locals,
+            build_states, teardown_states, program_for,
+        )
 
     dist = None
     next_hops = None
@@ -298,11 +376,207 @@ def apsp(
                 f"distributed result differs from sequential oracle in {bad} entries"
             )
 
+    var_name = var.value
+    if run_config is not config and run_config.offload:
+        var_name = f"{var.value}->offload"  # OOM degradation happened
     report = PerfReport.from_run(
-        var.value, n, cost, placement, elapsed, mpi, cluster,
+        var_name, n, cost, placement, elapsed, mpi, cluster,
         tracer if trace else None,
     )
     report.block_size = b
     return ApspResult(dist=dist if collect_result else None, report=report,
                       tracer=tracer if trace else None,
-                      next_hops=next_hops if collect_result else None)
+                      next_hops=next_hops if collect_result else None,
+                      fault_counters=dict(injector.counters) if injector is not None else None)
+
+
+def _run_with_recovery(
+    ctx: FwContext,
+    plan: FaultPlan,
+    injector: FaultInjector,
+    config: SolverConfig,
+    locals_,
+    nxt_locals,
+    build_states,
+    teardown_states,
+    program_for,
+):
+    """Epoch loop of a fault-armed run.
+
+    Spawns every rank program under a supervisor, detects rank
+    failures - injected crashes (delivered by watchdog processes as
+    :class:`~repro.sim.engine.Interrupt`), exhausted receive retries,
+    mid-solve :class:`~repro.errors.GpuOutOfMemory`, and worlds that
+    deadlocked because a dead peer will never send - and restarts the
+    world from the newest *consistent* checkpoint (one every rank
+    crossed) until the sweep completes or ``plan.max_restarts`` is
+    spent.  Replay is bit-exact: the simulation kernel is
+    deterministic and the tropical updates recompute identical minima
+    from identical operands (see docs/FAULTS.md).
+
+    Returns ``(states, elapsed, run_config)`` where ``elapsed`` is the
+    latest *rank completion* time - stale watchdog/receive-deadline
+    timers may push ``env.now`` past the real makespan - and
+    ``run_config`` differs from ``config`` only after OOM degradation
+    to the offload variant.
+    """
+    env = ctx.env
+    n_ranks = ctx.mpi.size
+    rt = ctx.faults
+    store = rt.store
+    track_paths = config.track_paths
+
+    # Free initial snapshot (pre-run, so no time is charged): restart
+    # is possible even before the first periodic checkpoint.
+    for r in range(n_ranks):
+        store.save(0, r, locals_[r], None if nxt_locals is None else nxt_locals[r])
+        rt.last_saved[r] = 0
+
+    run_config = config
+    fired_crashes: set[int] = set()
+    restarts = 0
+    while True:
+        start_k = rt.start_k
+        if restarts == 0:
+            blocks_by_rank = locals_
+            nxt_by_rank = nxt_locals
+        else:
+            blocks_by_rank = [store.restore(start_k, r) for r in range(n_ranks)]
+            nxt_by_rank = (
+                [store.restore_nxt(start_k, r) for r in range(n_ranks)]
+                if track_paths
+                else None
+            )
+        try:
+            states = build_states(run_config, blocks_by_rank, nxt_by_rank)
+        except GpuOutOfMemory as oom_exc:
+            if run_config.offload or not plan.oom_degrade:
+                raise
+            run_config = _degrade_to_offload(ctx, injector, config, oom_exc)
+            states = build_states(run_config, blocks_by_rank, nxt_by_rank)
+        for state in states:
+            factor = injector.compute_factor(state.me)
+            if factor != 1.0:
+                state.gpu.compute_multiplier = max(state.gpu.compute_multiplier, factor)
+
+        program = program_for(run_config)
+        status: dict[int, tuple[str, object]] = {}
+
+        def supervised(state, start_k=start_k, program=program, status=status):
+            try:
+                yield from program(state, start_k=start_k)
+                status[state.me] = ("done", env.now)
+            except Interrupt as exc:
+                status[state.me] = ("crashed", exc)
+            except CommTimeoutError as exc:
+                status[state.me] = ("timeout", exc)
+            except GpuOutOfMemory as exc:
+                status[state.me] = ("oom", exc)
+
+        procs = [env.process(supervised(state), name=f"rank{state.me}") for state in states]
+
+        def crash_watchdog(idx, crash, proc):
+            if crash.at > env.now:
+                yield env.timeout(crash.at - env.now)
+            fired_crashes.add(idx)
+            if proc.is_alive:
+                injector.count("faults.crashes")
+                proc.interrupt(
+                    RankFailure(
+                        f"rank {crash.rank} lost at t={env.now:.6g}",
+                        rank=crash.rank,
+                        at=env.now,
+                    )
+                )
+
+        watchdogs = []
+        for idx, crash in enumerate(plan.crashes):
+            if idx in fired_crashes or crash.at < env.now:
+                continue
+            watchdogs.append(
+                env.process(crash_watchdog(idx, crash, procs[crash.rank]),
+                            name=f"crash@r{crash.rank}")
+            )
+
+        env.run()
+        # Ranks deadlocked on a peer that died (no recv_timeout armed)
+        # never reach a status; declare them failed and drain again.
+        stuck = [p for state, p in zip(states, procs) if state.me not in status]
+        for p in stuck:
+            if p.is_alive:
+                p.interrupt(RankFailure("rank stalled after peer failure"))
+        if stuck:
+            env.run()
+
+        if len(status) == n_ranks and all(st[0] == "done" for st in status.values()):
+            return states, max(st[1] for st in status.values()), run_config
+
+        # ---- failure: tear the epoch down and restart -------------------
+        restarts += 1
+        failures = {r: st for r, st in status.items() if st[0] != "done"}
+        if restarts > plan.max_restarts:
+            for st in failures.values():
+                if isinstance(st[1], (CommTimeoutError, GpuOutOfMemory)):
+                    raise st[1]
+            raise RankFailure(
+                f"world failed {restarts} times (restart budget {plan.max_restarts}); "
+                f"failed ranks: {sorted(failures)}"
+            )
+        injector.count("faults.restarts")
+
+        oom_failures = [st[1] for st in failures.values() if st[0] == "oom"]
+        if oom_failures and not run_config.offload:
+            if not plan.oom_degrade:
+                raise oom_failures[0]
+            run_config = _degrade_to_offload(ctx, injector, config, oom_failures[0])
+
+        # Kill watchdogs and stray async relays of the dead epoch;
+        # defuse so their Interrupt failures don't abort env.run().
+        for wd in watchdogs:
+            if wd.is_alive:
+                wd.defuse()
+                wd.interrupt()
+        for state in states:
+            for ev in state.pending:
+                if getattr(ev, "is_alive", False):
+                    ev.defuse()
+                    ev.interrupt()
+        env.run()
+
+        k0 = store.consistent_k(n_ranks)
+        if k0 is None:  # pragma: no cover - the k=0 snapshot always exists
+            raise CheckpointError("no consistent checkpoint to restart from")
+        progress = max((state.cur_k for state in states), default=-1)
+        injector.count("faults.replayed_iters", max(0, progress - k0))
+        teardown_states(states)
+        injector.reset_world()
+        rt.start_k = k0
+        for r in range(n_ranks):
+            rt.last_saved[r] = max(rt.last_saved.get(r, 0), k0)
+        # Charge the restore: each rank reads its snapshot back from the
+        # host-side store in parallel, so the slowest read gates restart.
+        restore_cost = 0.0
+        for state in states:
+            rows = len(state.local_rows())
+            cols = len(state.local_cols())
+            dur = ctx.cost.checkpoint_time(rows * ctx.b, cols * ctx.b)
+            if track_paths:
+                dur *= 3
+            restore_cost = max(restore_cost, dur)
+        env.run(until=env.timeout(restore_cost))
+        injector.count("faults.restore_time", restore_cost)
+
+
+def _degrade_to_offload(
+    ctx: FwContext, injector: FaultInjector, base: SolverConfig, oom_exc: GpuOutOfMemory
+) -> SolverConfig:
+    """Switch a fault-armed run to the offload (Me-ParallelFw) variant
+    after GpuOutOfMemory; re-raises the OOM when the configuration
+    cannot run under offload (track_paths / exploit_sparsity)."""
+    try:
+        degraded = variant_config(Variant.OFFLOAD, base)
+    except ConfigurationError:
+        raise oom_exc from None
+    injector.count("faults.oom_degraded")
+    ctx.config = degraded
+    return degraded

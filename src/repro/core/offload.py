@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.checkpoint import checkpoint_hook
 from ..semiring.minplus import Semiring
 from .context import (
     RankState,
@@ -173,10 +174,16 @@ def _outer_tiles(
     return tiles
 
 
-def offload_program(state: RankState):
-    """Generator: Me-ParallelFw as executed by one rank."""
+def offload_program(state: RankState, start_k: int = 0):
+    """Generator: Me-ParallelFw as executed by one rank.
+
+    Like the baseline, resuming at the top of iteration ``start_k``
+    (checkpoint recovery) reproduces a fresh run's ``k >= start_k``
+    schedule exactly.
+    """
     ctx = state.ctx
-    for k in range(ctx.nb):
+    for k in range(start_k, ctx.nb):
+        yield from checkpoint_hook(state, k)
         diag = None
         if state.owns_diag(k):
             yield from _offload_diag_update(state, k)

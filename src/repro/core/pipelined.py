@@ -20,6 +20,7 @@ With the tree it is the plain ``Pipelined`` variant.
 
 from __future__ import annotations
 
+from ..faults.checkpoint import checkpoint_hook
 from .context import (
     RankState,
     maybe,
@@ -139,30 +140,41 @@ def _lookahead_col(state: RankState, k: int, row_panel, col_panel):
     )
 
 
-def pipelined_program(state: RankState):
-    """Generator: Algorithm 4 as executed by one rank."""
+def pipelined_program(state: RankState, start_k: int = 0):
+    """Generator: Algorithm 4 as executed by one rank.
+
+    On resume (``start_k > 0``) the checkpointed state already carries
+    the iteration-``start_k`` diag/panel updates: the look-ahead phase
+    of iteration ``start_k - 1`` applied them before the checkpoint was
+    taken at the top of iteration ``start_k``.  Re-running the update
+    prologue would apply them twice (not bitwise idempotent for float
+    path lengths), so resume only re-broadcasts the already-updated
+    panels.
+    """
     ctx = state.ctx
     nb = ctx.nb
 
-    # ---- Prologue: start the pipeline with iteration 0's panels ---------
-    diag = None
-    if state.owns_diag(0):
-        yield diag_update(state, 0)
-        diag = state.blocks[(0, 0)]
-    if state.in_row(0) or state.in_col(0):
-        diag = yield from diag_bcast(state, 0, diag)
-    if state.in_row(0):
-        ev = panel_update_row(state, 0, diag)
-        if ev is not None:
-            yield ev
-    if state.in_col(0):
-        ev = panel_update_col(state, 0, diag)
-        if ev is not None:
-            yield ev
-    row_panel, col_panel = yield from panel_bcast(state, 0)
+    if start_k == 0:
+        # ---- Prologue: start the pipeline with iteration 0's panels -----
+        diag = None
+        if state.owns_diag(0):
+            yield diag_update(state, 0)
+            diag = state.blocks[(0, 0)]
+        if state.in_row(0) or state.in_col(0):
+            diag = yield from diag_bcast(state, 0, diag)
+        if state.in_row(0):
+            ev = panel_update_row(state, 0, diag)
+            if ev is not None:
+                yield ev
+        if state.in_col(0):
+            ev = panel_update_col(state, 0, diag)
+            if ev is not None:
+                yield ev
+    row_panel, col_panel = yield from panel_bcast(state, start_k)
 
     # ---- Main loop -------------------------------------------------------
-    for k in range(nb):
+    for k in range(start_k, nb):
+        yield from checkpoint_hook(state, k)
         skip_rows: tuple[int, ...] = ()
         skip_cols: tuple[int, ...] = ()
         if k + 1 < nb:

@@ -9,6 +9,9 @@ __all__ = [
     "GpuOutOfMemory",
     "NegativeCycleError",
     "ValidationError",
+    "CommTimeoutError",
+    "RankFailure",
+    "CheckpointError",
 ]
 
 
@@ -70,3 +73,46 @@ class NegativeCycleError(ReproError, ValueError):
 
 class ValidationError(ReproError, AssertionError):
     """A computed result failed verification against the oracle."""
+
+
+class CommTimeoutError(ReproError, TimeoutError):
+    """A simulated receive exceeded its timeout.
+
+    Raised by :meth:`repro.mpi.comm.Comm.recv` when a deadline is set
+    and no matching message arrives - the detection primitive for lost
+    messages and dead peers.  ``retries`` counts how many re-request
+    rounds were already attempted when the retry wrapper gives up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: "int | None" = None,
+        src: "int | None" = None,
+        tag: "int | None" = None,
+        retries: int = 0,
+    ):
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.retries = retries
+        super().__init__(message)
+
+
+class RankFailure(ReproError, RuntimeError):
+    """A simulated MPI rank died mid-solve (injected crash or abort).
+
+    Recoverable when checkpoint/restart is armed; otherwise it
+    propagates out of the driver after the restart budget is spent.
+    """
+
+    def __init__(self, message: str, rank: "int | None" = None, at: "float | None" = None):
+        self.rank = rank
+        self.at = at
+        super().__init__(message)
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """The checkpoint/restart machinery could not recover a run
+    (no consistent checkpoint exists, or the restart budget is
+    exhausted)."""

@@ -1,0 +1,43 @@
+"""Deterministic fault injection and recovery for the simulated solver.
+
+The package turns failure into a *reproducible input*: a seeded
+:class:`FaultPlan` describes what goes wrong (message drops,
+duplications, payload corruption, NIC degradation windows, compute
+stragglers, rank crashes, mid-solve OOM) and the recovery policy
+(receive timeouts with bounded retry, checkpoint interval, restart
+budget, OOM degradation); a :class:`FaultInjector` applies it inside
+the transport and machine layers; :class:`CheckpointStore` +
+:func:`checkpoint_hook` provide iteration-granular checkpoint/restart.
+
+See ``docs/FAULTS.md`` for the spec grammar and the idempotence
+argument behind bit-identical recovery.
+"""
+
+from .checkpoint import CheckpointStore, checkpoint_hook
+from .injector import CTRL_NBYTES, FaultInjector, FaultRuntime
+from .plan import (
+    FAULT_PLAN_ENV,
+    ComputeStraggler,
+    FaultPlan,
+    MessageFault,
+    NicWindow,
+    OomFault,
+    RankCrash,
+    resolve_fault_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "MessageFault",
+    "NicWindow",
+    "ComputeStraggler",
+    "RankCrash",
+    "OomFault",
+    "resolve_fault_plan",
+    "FAULT_PLAN_ENV",
+    "FaultInjector",
+    "FaultRuntime",
+    "CTRL_NBYTES",
+    "CheckpointStore",
+    "checkpoint_hook",
+]

@@ -1,0 +1,124 @@
+"""Iteration-granular checkpoint/restart for the distributed solvers.
+
+The blocked Floyd-Warshall sweep is bulk-synchronous at iteration
+granularity (paper Alg. 3; Alg. 4 merely overlaps adjacent iterations):
+at the top of its outer loop every rank's blocks are a pure function of
+the input and the iteration counter ``k``.  That makes *uncoordinated*
+per-rank snapshots at top-of-loop consistent: a world restored from
+``{rank -> snapshot at k}`` and replayed from ``k`` re-executes exactly
+the original operand sequence, and the (min,+) semiring's idempotence
+(``min(x, x) = x``) guarantees bit-identical results - replayed updates
+recompute the same minima from the same operands.
+
+Snapshots live in a (simulated) host-side store.  Saving charges
+DRAM-bandwidth time via
+:meth:`CostModel.checkpoint_time <repro.machine.cost.CostModel.checkpoint_time>`;
+restoring charges the same read cost in the driver's recovery loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import CheckpointError, GpuOutOfMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.context import RankState
+    from ..core.distribution import LocalBlocks
+
+__all__ = ["CheckpointStore", "checkpoint_hook"]
+
+
+class CheckpointStore:
+    """Host-side store of per-rank block snapshots, keyed by iteration."""
+
+    def __init__(self):
+        #: k -> rank -> {(i, j): array copy}
+        self._blocks: dict[int, dict[int, "LocalBlocks"]] = {}
+        self._nxt: dict[int, dict[int, "LocalBlocks"]] = {}
+
+    def save(
+        self,
+        k: int,
+        rank: int,
+        blocks: "LocalBlocks",
+        nxt: Optional["LocalBlocks"] = None,
+    ) -> None:
+        self._blocks.setdefault(k, {})[rank] = {key: b.copy() for key, b in blocks.items()}
+        if nxt is not None:
+            self._nxt.setdefault(k, {})[rank] = {key: b.copy() for key, b in nxt.items()}
+
+    def checkpoints(self) -> list[int]:
+        return sorted(self._blocks)
+
+    def consistent_k(self, world_size: int) -> Optional[int]:
+        """The newest iteration every rank has a snapshot for, or None.
+
+        A crash can strike while some ranks have checkpointed iteration
+        k and others have not; only a cut *all* ranks crossed is a
+        legal restart point."""
+        consistent = [k for k, by_rank in self._blocks.items() if len(by_rank) == world_size]
+        return max(consistent) if consistent else None
+
+    def restore(self, k: int, rank: int) -> "LocalBlocks":
+        """A fresh deep copy of ``rank``'s snapshot at iteration ``k``
+        (the store's own copy stays pristine for further restarts)."""
+        try:
+            snap = self._blocks[k][rank]
+        except KeyError:
+            raise CheckpointError(
+                f"no checkpoint for rank {rank} at iteration {k}"
+            ) from None
+        return {key: b.copy() for key, b in snap.items()}
+
+    def restore_nxt(self, k: int, rank: int) -> Optional["LocalBlocks"]:
+        snap = self._nxt.get(k, {}).get(rank)
+        if snap is None:
+            return None
+        return {key: b.copy() for key, b in snap.items()}
+
+
+def checkpoint_hook(state: "RankState", k: int):
+    """Generator: top-of-outer-loop hook every rank program runs.
+
+    Unarmed (``ctx.faults is None``) it returns without yielding - no
+    simulated events, so traces and makespans are untouched.  Armed it:
+
+    1. records the rank's progress (``state.cur_k``, used to count
+       replayed iterations after a restart);
+    2. fires any injected :class:`~repro.faults.plan.OomFault` for this
+       (rank, k) as a :class:`~repro.errors.GpuOutOfMemory`;
+    3. every ``checkpoint_interval`` iterations, charges the DRAM write
+       time and snapshots the rank's owned blocks into the store.
+    """
+    rt = state.ctx.faults
+    if rt is None:
+        return
+    state.cur_k = k
+    inj = rt.injector
+    if inj.should_oom(state.me, k):
+        inj.count("faults.oom_injected")
+        gpu = state.gpu
+        raise GpuOutOfMemory(
+            max(1, int(state.hbm_charged)), 0, gpu.spec.hbm_bytes, device=gpu.name
+        )
+    interval = inj.plan.checkpoint_interval
+    if not interval:
+        return
+    if k == 0 or k % interval != 0 or rt.last_saved.get(state.me, -1) >= k:
+        return
+    ctx = state.ctx
+    b = ctx.b
+    rows = len(state.local_rows())
+    cols = len(state.local_cols())
+    duration = ctx.cost.checkpoint_time(rows * b, cols * b)
+    if state.nxt is not None:
+        duration *= 3  # int64 pointer blocks cost 2x the distances
+    start = ctx.env.now
+    yield ctx.env.timeout(duration)
+    rt.store.save(k, state.me, state.blocks, state.nxt)
+    rt.last_saved[state.me] = k
+    inj.count("faults.checkpoints")
+    inj.count("faults.checkpoint_time", duration)
+    if ctx.tracer is not None:
+        ctx.tracer.record(f"rank{state.me}", "checkpoint", f"ckpt(k={k})", start, ctx.env.now)

@@ -1,0 +1,357 @@
+"""Deterministic fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a *reproducible input* to a simulated run: the
+same plan (plus the same seed) always perturbs the same messages at the
+same simulated times, so chaos runs are exactly replayable and their
+results can be byte-compared against the fault-free oracle.
+
+Plans are built three ways:
+
+* programmatically (construct the dataclasses);
+* from CLI spec strings via :meth:`FaultPlan.from_specs`, e.g.
+  ``drop:src=0,dst=3,nth=1`` or ``crash:rank=2,at=0.01``;
+* from JSON via :meth:`FaultPlan.from_json` (the ``$REPRO_FAULT_PLAN``
+  environment hook).
+
+Spec grammar (one fault per spec, ``kind:key=value,key=value``):
+
+========== ============================================================
+kind       keys
+========== ============================================================
+drop       src, dst, tag, nth (1-based match index) or p (probability)
+dup        src, dst, tag, nth or p
+corrupt    src, dst, tag, nth or p, bits (entries to flip, default 1)
+nic        node, factor, t0, t1 (degradation window, seconds)
+straggler  rank, factor (compute-cost multiplier on that rank's GPU)
+crash      rank, at (hard rank loss at simulated time ``at``)
+oom        rank, k (GpuOutOfMemory injected at outer iteration k)
+policy     timeout, retries, backoff, ckpt, restarts, oom_degrade
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "MessageFault",
+    "NicWindow",
+    "ComputeStraggler",
+    "RankCrash",
+    "OomFault",
+    "FaultPlan",
+    "resolve_fault_plan",
+    "FAULT_PLAN_ENV",
+]
+
+#: Environment variable holding a JSON fault plan (same schema as
+#: :meth:`FaultPlan.to_json`); consulted when the driver gets no
+#: explicit plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop, duplicate, or corrupt messages matching an envelope filter.
+
+    ``src``/``dst`` are world ranks, ``tag`` the MPI tag; ``None``
+    matches anything.  Selection is either deterministic (``nth``: the
+    nth matching send, 1-based) or seeded-probabilistic (``p``: each
+    matching send independently with probability p, drawn from the
+    plan's RNG in send order - still fully reproducible).
+    """
+
+    kind: str  # "drop" | "dup" | "corrupt"
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    tag: Optional[int] = None
+    nth: Optional[int] = None
+    p: float = 0.0
+    #: corrupt only: how many payload entries get bit-flipped.
+    bits: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("drop", "dup", "corrupt"):
+            raise ConfigurationError(f"unknown message-fault kind {self.kind!r}")
+        if self.nth is not None and self.nth < 1:
+            raise ConfigurationError(f"nth is 1-based, got {self.nth}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {self.p}")
+        if self.nth is None and self.p == 0.0:
+            raise ConfigurationError(f"{self.kind} fault needs nth=... or p=...")
+
+
+@dataclass(frozen=True)
+class NicWindow:
+    """Multiply one node's NIC transfer times by ``factor`` while the
+    simulated clock is inside [t0, t1] - a degraded link / noisy
+    neighbour window rather than a permanent straggler."""
+
+    node: int
+    factor: float
+    t0: float = 0.0
+    t1: float = float("inf")
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ConfigurationError(f"nic factor must be positive, got {self.factor}")
+        if self.t1 < self.t0:
+            raise ConfigurationError(f"empty nic window [{self.t0}, {self.t1}]")
+
+
+@dataclass(frozen=True)
+class ComputeStraggler:
+    """Multiply one rank's GPU kernel times by ``factor`` (a slow or
+    thermally throttled device, 2:1 rank sharing gone bad, ...)."""
+
+    rank: int
+    factor: float
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ConfigurationError(f"straggler factor must be positive, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Hard-kill one rank at simulated time ``at`` (delivered through
+    :meth:`repro.sim.engine.Process.interrupt`)."""
+
+    rank: int
+    at: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class OomFault:
+    """Raise :class:`~repro.errors.GpuOutOfMemory` on ``rank`` when it
+    reaches outer iteration ``k`` - models a mid-solve allocation
+    failure the driver must degrade around (restart under offload)."""
+
+    rank: int
+    k: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """All injected faults of one run, plus the recovery policy.
+
+    The plan is immutable and JSON-serializable; together with its
+    ``seed`` it fully determines the injector's behaviour.
+    """
+
+    message_faults: tuple[MessageFault, ...] = ()
+    nic_windows: tuple[NicWindow, ...] = ()
+    stragglers: tuple[ComputeStraggler, ...] = ()
+    crashes: tuple[RankCrash, ...] = ()
+    ooms: tuple[OomFault, ...] = ()
+    #: Seeds probabilistic selection and corruption patterns.
+    seed: int = 0
+
+    # -- recovery policy ---------------------------------------------------
+    #: Receive deadline (seconds, simulated) armed inside broadcasts;
+    #: None leaves receives blocking (crashes are then detected by
+    #: deadlock draining instead of timeouts).
+    recv_timeout: Optional[float] = None
+    #: Bounded retries of a timed-out receive (each re-requests the
+    #: lost payload), with exponential backoff on the deadline.
+    max_retries: int = 5
+    backoff: float = 2.0
+    #: Snapshot owned blocks every C outer iterations (None/0: only the
+    #: free initial snapshot exists).
+    checkpoint_interval: Optional[int] = None
+    #: How many world restarts (crash or OOM) to attempt before giving up.
+    max_restarts: int = 4
+    #: Restart under the offload variant (Me-ParallelFw) when a
+    #: non-offload run hits GpuOutOfMemory.
+    oom_degrade: bool = True
+
+    def __post_init__(self):
+        if self.recv_timeout is not None and self.recv_timeout <= 0:
+            raise ConfigurationError(f"recv_timeout must be positive, got {self.recv_timeout}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigurationError(f"max_restarts must be >= 0, got {self.max_restarts}")
+
+    # -- queries -----------------------------------------------------------
+    def armed(self) -> bool:
+        """True when the plan perturbs or protects anything at all."""
+        return bool(
+            self.message_faults
+            or self.nic_windows
+            or self.stragglers
+            or self.crashes
+            or self.ooms
+            or self.recv_timeout is not None
+            or self.checkpoint_interval
+        )
+
+    def replace(self, **changes: Any) -> "FaultPlan":
+        return dataclasses.replace(self, **changes)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_specs(cls, specs: Sequence[str], seed: int = 0) -> "FaultPlan":
+        """Parse CLI-style fault specs (see module docs for grammar)."""
+        msg: list[MessageFault] = []
+        nic: list[NicWindow] = []
+        stragglers: list[ComputeStraggler] = []
+        crashes: list[RankCrash] = []
+        ooms: list[OomFault] = []
+        policy: dict[str, Any] = {}
+        for spec in specs:
+            kind, _, body = spec.partition(":")
+            kind = kind.strip().lower()
+            kv = _parse_kv(body, spec)
+            try:
+                if kind in ("drop", "dup", "corrupt"):
+                    msg.append(MessageFault(kind=kind, **_pick(kv, spec, "src", "dst", "tag", "nth", "p", "bits")))
+                elif kind == "nic":
+                    nic.append(NicWindow(**_pick(kv, spec, "node", "factor", "t0", "t1", required=("node", "factor"))))
+                elif kind == "straggler":
+                    stragglers.append(ComputeStraggler(**_pick(kv, spec, "rank", "factor", required=("rank", "factor"))))
+                elif kind == "crash":
+                    crashes.append(RankCrash(**_pick(kv, spec, "rank", "at", required=("rank", "at"))))
+                elif kind == "oom":
+                    ooms.append(OomFault(**_pick(kv, spec, "rank", "k", required=("rank", "k"))))
+                elif kind == "policy":
+                    rename = {
+                        "timeout": "recv_timeout",
+                        "retries": "max_retries",
+                        "backoff": "backoff",
+                        "ckpt": "checkpoint_interval",
+                        "restarts": "max_restarts",
+                        "oom_degrade": "oom_degrade",
+                    }
+                    for key, value in kv.items():
+                        if key not in rename:
+                            raise ConfigurationError(f"unknown policy key {key!r} in {spec!r}")
+                        policy[rename[key]] = value
+                else:
+                    raise ConfigurationError(f"unknown fault kind {kind!r} in {spec!r}")
+            except TypeError as exc:  # unexpected keyword from _pick
+                raise ConfigurationError(f"bad fault spec {spec!r}: {exc}") from None
+        return cls(
+            message_faults=tuple(msg),
+            nic_windows=tuple(nic),
+            stragglers=tuple(stragglers),
+            crashes=tuple(crashes),
+            ooms=tuple(ooms),
+            seed=seed,
+            **policy,
+        )
+
+    # -- JSON --------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        # asdict turns nested dataclasses into dicts and tuples into
+        # lists already; inf does not survive strict JSON, so encode it.
+        for w in payload["nic_windows"]:
+            if w["t1"] == float("inf"):
+                w["t1"] = None
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault-plan JSON: {exc}") from None
+        if not isinstance(raw, dict):
+            raise ConfigurationError("fault-plan JSON must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigurationError(f"unknown fault-plan keys {sorted(unknown)}")
+        kwargs: dict[str, Any] = dict(raw)
+        kwargs["message_faults"] = tuple(
+            MessageFault(**m) for m in raw.get("message_faults", ())
+        )
+        kwargs["nic_windows"] = tuple(
+            NicWindow(**{**w, "t1": float("inf") if w.get("t1") is None else w["t1"]})
+            for w in raw.get("nic_windows", ())
+        )
+        kwargs["stragglers"] = tuple(ComputeStraggler(**s) for s in raw.get("stragglers", ()))
+        kwargs["crashes"] = tuple(RankCrash(**c) for c in raw.get("crashes", ()))
+        kwargs["ooms"] = tuple(OomFault(**o) for o in raw.get("ooms", ()))
+        return cls(**kwargs)
+
+
+def _parse_kv(body: str, spec: str) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    body = body.strip()
+    if not body:
+        return out
+    for item in body.split(","):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ConfigurationError(f"expected key=value, got {item!r} in {spec!r}")
+        out[key.strip()] = _coerce(value.strip())
+    return out
+
+
+def _coerce(value: str) -> Any:
+    low = value.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    if low in ("inf", "+inf"):
+        return float("inf")
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def _pick(
+    kv: dict[str, Any], spec: str, *allowed: str, required: tuple[str, ...] = ()
+) -> dict[str, Any]:
+    unknown = set(kv) - set(allowed)
+    if unknown:
+        raise ConfigurationError(f"unknown keys {sorted(unknown)} in fault spec {spec!r}")
+    missing = [k for k in required if k not in kv]
+    if missing:
+        raise ConfigurationError(f"fault spec {spec!r} is missing {missing}")
+    return kv
+
+
+def resolve_fault_plan(
+    plan: Union["FaultPlan", Sequence[str], str, None], seed: int = 0
+) -> Optional["FaultPlan"]:
+    """Normalize the driver's ``fault_plan`` argument.
+
+    Accepts an existing plan, a single spec string, a sequence of spec
+    strings, or None - in which case ``$REPRO_FAULT_PLAN`` (JSON) is
+    consulted.  Returns None when nothing arms the run.
+    """
+    if plan is None:
+        env_json = os.environ.get(FAULT_PLAN_ENV)
+        if not env_json:
+            return None
+        resolved = FaultPlan.from_json(env_json)
+    elif isinstance(plan, FaultPlan):
+        resolved = plan
+    elif isinstance(plan, str):
+        resolved = FaultPlan.from_specs([plan], seed=seed)
+    else:
+        resolved = FaultPlan.from_specs(list(plan), seed=seed)
+    return resolved if resolved.armed() else None

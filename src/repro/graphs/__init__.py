@@ -22,6 +22,7 @@ from .validation import (
     assert_matches_oracle,
     check_apsp_invariants,
     scipy_floyd_warshall,
+    validate_weights,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "scipy_floyd_warshall",
     "assert_matches_oracle",
     "check_apsp_invariants",
+    "validate_weights",
 ]

@@ -188,12 +188,19 @@ def from_edge_list(
 ) -> np.ndarray:
     """Build a weight matrix from (src, dst, weight) triples; parallel
     edges keep the minimum weight."""
+    from ..errors import ValidationError
+    from .validation import validate_weights
+
     w = np.full((n, n), INF, dtype=dtype)
     for u, v, wt in edges:
         if not (0 <= u < n and 0 <= v < n):
             raise ValueError(f"edge ({u}, {v}) outside vertex range [0, {n})")
+        if np.isnan(wt):
+            # min(INF, nan) is INF, so without this check a NaN edge
+            # would vanish silently instead of being rejected.
+            raise ValidationError(f"edge ({u}, {v}) has NaN weight")
         w[u, v] = min(w[u, v], wt)
         if symmetric:
             w[v, u] = min(w[v, u], wt)
     np.fill_diagonal(w, 0.0)
-    return w
+    return validate_weights(w)

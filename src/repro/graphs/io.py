@@ -8,6 +8,7 @@ from typing import Union
 import numpy as np
 
 from .generators import from_edge_list
+from .validation import validate_weights
 
 __all__ = ["save_matrix", "load_matrix", "save_edge_list", "load_edge_list"]
 
@@ -20,9 +21,13 @@ def save_matrix(path: PathLike, weights: np.ndarray, **metadata) -> None:
 
 
 def load_matrix(path: PathLike) -> np.ndarray:
-    """Load a weight matrix saved by :func:`save_matrix`."""
+    """Load a weight matrix saved by :func:`save_matrix`.
+
+    Raises :class:`~repro.errors.ValidationError` on NaN or -inf
+    entries (corrupt or hand-edited files).
+    """
     with np.load(path) as data:
-        return np.array(data["weights"])
+        return validate_weights(np.array(data["weights"]))
 
 
 def save_edge_list(path: PathLike, weights: np.ndarray, comment: str = "") -> None:

@@ -87,6 +87,10 @@ class SimCluster:
         self.cost = cost if cost is not None else CostModel(machine)
         self.tracer = tracer
         self.nodes = [SimNode(env, machine, self.cost, i, tracer) for i in range(n_nodes)]
+        #: Armed by the driver with a
+        #: :class:`~repro.faults.injector.FaultInjector`; None keeps
+        #: transfers on the zero-overhead path.
+        self.injector = None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -108,6 +112,9 @@ class SimCluster:
         else:
             channel = node.nic_tx
             duration = self.cost.internode_transfer_time(nbytes_virtual) * node.nic_slowdown
+            if self.injector is not None:
+                # NIC degradation window: bandwidth x factor over [t0, t1].
+                duration *= self.injector.nic_factor(src_node, self.env.now)
             latency = self.cost.internode_latency
             node.nic_bytes_sent += nbytes_virtual
             category = "nic_xfer"

@@ -112,6 +112,12 @@ class CostModel:
         against DRAM bandwidth (paper §4.5: t2 = 3 m n t_m)."""
         return 3.0 * self.bytes_of(rows, cols) / self.machine.node.dram_bw
 
+    def checkpoint_time(self, rows: int, cols: int) -> float:
+        """Snapshot (or restore) a rank's ``rows x cols`` working set
+        to/from the host-side checkpoint store: one read of the source
+        plus one write of the copy, both against DRAM bandwidth."""
+        return 2.0 * self.bytes_of(rows, cols) / self.machine.node.dram_bw
+
     # -- network -------------------------------------------------------------
     def internode_transfer_time(self, nbytes_virtual: float) -> float:
         """NIC occupancy for a message of that many (virtual) bytes."""

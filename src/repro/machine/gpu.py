@@ -55,6 +55,11 @@ class SimGPU:
         self._allocated = 0
         self.peak_allocated = 0
         self._stream_count = 0
+        #: Multiplier on kernel durations (> 1 models a straggler
+        #: device: thermal throttling, a slow part, oversubscription).
+        #: Set by the fault injector; applies to every stream on this
+        #: device, including the offload pipeline's.
+        self.compute_multiplier = 1.0
 
     # -- memory ----------------------------------------------------------
     @property
@@ -159,7 +164,7 @@ class CudaStream:
             raise ValueError(f"cost_scale must be positive, got {cost_scale}")
         return self._submit(
             self.gpu.kernel_engine,
-            cost_scale * self.gpu.cost.srgemm_time(m, n, k),
+            cost_scale * self.gpu.compute_multiplier * self.gpu.cost.srgemm_time(m, n, k),
             "SrGemm",
             label,
             fn,
@@ -171,7 +176,9 @@ class CudaStream:
     ) -> Event:
         """Enqueue a kernel with an explicitly computed duration (used
         for the DiagUpdate squaring chain)."""
-        return self._submit(self.gpu.kernel_engine, duration, "SrGemm", label, fn)
+        return self._submit(
+            self.gpu.kernel_engine, self.gpu.compute_multiplier * duration, "SrGemm", label, fn
+        )
 
     def h2d(
         self, rows: int, cols: int, label: str = "h2dXfer", fn: Optional[Callable[[], Any]] = None

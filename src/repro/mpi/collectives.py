@@ -22,10 +22,95 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..errors import CommTimeoutError, ConfigurationError
 from ..sim.engine import Event
-from .comm import Comm
+from .comm import Comm, payload_checksum
 
-__all__ = ["bcast_tree", "bcast_ring", "bcast_ring_segmented", "barrier", "gather"]
+__all__ = [
+    "bcast_tree",
+    "bcast_ring",
+    "bcast_ring_segmented",
+    "barrier",
+    "gather",
+    "recv_with_retry",
+    "BARRIER_TAG",
+    "GATHER_TAG",
+]
+
+#: Internal control tags.  Negative by construction so they can never
+#: collide with user tags, which :func:`_check_user_tag` keeps >= 0.
+BARRIER_TAG = -7
+GATHER_TAG = -9
+
+
+def _check_user_tag(tag: int) -> None:
+    if tag < 0:
+        raise ConfigurationError(
+            f"user tags must be non-negative (got {tag}); negative tags are "
+            "reserved for internal collectives (barrier/gather)"
+        )
+
+
+def recv_with_retry(comm: Comm, src: int, tag: int):
+    """Generator: a receive hardened against the fault injector.
+
+    On unarmed runs this is exactly ``comm.recv`` (one extra ``is
+    None`` check).  Armed, it layers the reliability protocol on top:
+
+    * a receive deadline (``plan.recv_timeout``) with bounded retries
+      and exponential backoff - each timeout re-requests the lost
+      message from the injector's retained pristine copy;
+    * checksum verification - a payload whose CRC32 does not match its
+      envelope is discarded and re-requested the same way.
+
+    Raises :class:`~repro.errors.CommTimeoutError` once the retry
+    budget is spent (the peer is then presumed dead; the driver's
+    recovery loop takes over).
+    """
+    injector = comm.mpi.injector
+    if injector is None:
+        payload = yield from comm.recv(src=src, tag=tag)
+        return payload
+    plan = injector.plan
+    timeout = plan.recv_timeout
+    src_world = comm.world_ranks[src]
+    retries = 0
+    while True:
+        try:
+            msg = yield from comm.recv_message(src=src, tag=tag, timeout=timeout)
+        except CommTimeoutError:
+            if retries >= plan.max_retries:
+                raise CommTimeoutError(
+                    f"rank {comm.rank} gave up on recv(src={src}, tag={tag}) "
+                    f"after {retries} retries",
+                    rank=comm.rank,
+                    src=src,
+                    tag=tag,
+                    retries=retries,
+                ) from None
+            retries += 1
+            injector.count("faults.retries")
+            yield from injector.request_retransmit(comm.me_world, src_world, tag)
+            if timeout is not None:
+                timeout *= plan.backoff
+            continue
+        if msg.checksum is not None and payload_checksum(msg.payload) != msg.checksum:
+            injector.count("faults.checksum_mismatches")
+            injector.mark_undelivered(comm.me_world, msg.src, msg.seq)
+            if retries >= plan.max_retries:
+                raise CommTimeoutError(
+                    f"rank {comm.rank} got {retries + 1} corrupted copies of "
+                    f"(src={src}, tag={tag})",
+                    rank=comm.rank,
+                    src=src,
+                    tag=tag,
+                    retries=retries,
+                )
+            retries += 1
+            injector.count("faults.retries")
+            yield from injector.request_retransmit(comm.me_world, src_world, tag)
+            continue
+        return msg.payload
 
 
 def _binomial_children(rel: int, size: int) -> list[int]:
@@ -59,11 +144,12 @@ def bcast_tree(comm: Comm, root: int, payload: Any = None, tag: int = 0, nbytes:
     forwarding fan-out has drained through its NIC - the synchronizing
     behaviour the paper attributes to the library broadcast.
     """
+    _check_user_tag(tag)
     size, me = comm.size, comm.rank
     rel = (me - root) % size
     if rel != 0:
         parent = (_binomial_parent(rel) + root) % size
-        payload = yield from comm.recv(src=parent, tag=tag)
+        payload = yield from recv_with_retry(comm, parent, tag)
     for child in _binomial_children(rel, size):
         yield from comm.send((child + root) % size, payload, tag=tag, nbytes=nbytes)
     return payload
@@ -88,10 +174,11 @@ def bcast_ring(
     collective behave like a store-and-forward chain (useful as an
     ablation).
     """
+    _check_user_tag(tag)
     size, me = comm.size, comm.rank
     rel = (me - root) % size
     if rel != 0:
-        payload = yield from comm.recv(src=(me - 1) % size, tag=tag)
+        payload = yield from recv_with_retry(comm, (me - 1) % size, tag)
     done: Event
     if rel != size - 1 and size > 1:
         nxt = (me + 1) % size
@@ -131,6 +218,7 @@ def bcast_ring_segmented(
     ``None``; chunking is by top-level item for dicts/lists and by rows
     for a single array.
     """
+    _check_user_tag(tag)
     size, me = comm.size, comm.rank
     if segments < 1:
         raise ValueError(f"segments must be >= 1, got {segments}")
@@ -190,7 +278,7 @@ def bcast_ring_segmented(
         # Receive segments in order; forward each the moment it lands
         # (the pipelining that cuts the ring's makespan).
         for i in range(segments):
-            chunk = yield from comm.recv(src=(me - 1) % size, tag=base_tag + i)
+            chunk = yield from recv_with_retry(comm, (me - 1) % size, base_tag + i)
             received.append(chunk)
             if rel != size - 1:
                 relays.append(comm.isend((me + 1) % size, chunk, tag=base_tag + i))
@@ -205,7 +293,7 @@ def bcast_ring_segmented(
     return got, done
 
 
-def barrier(comm: Comm, tag: int = -7):
+def barrier(comm: Comm, tag: int = BARRIER_TAG):
     """Generator: dissemination barrier (``ceil(log2 P)`` rounds of
     tiny messages)."""
     size, me = comm.size, comm.rank
@@ -224,7 +312,7 @@ def barrier(comm: Comm, tag: int = -7):
         round_no += 1
 
 
-def gather(comm: Comm, root: int, payload: Any, tag: int = -9):
+def gather(comm: Comm, root: int, payload: Any, tag: int = GATHER_TAG):
     """Generator: gather every member's payload at ``root``; returns the
     list (ordered by local rank) at the root, ``None`` elsewhere."""
     size, me = comm.size, comm.rank

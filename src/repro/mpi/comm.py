@@ -23,18 +23,27 @@ Semantics (close to eager-mode MPI over a bandwidth-serialized NIC):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import CommTimeoutError, ConfigurationError
 from ..machine.cluster import SimCluster
 from ..sim.engine import Environment, Event
 from ..sim.resources import FilterStore
 from ..sim.trace import Tracer
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "SimMPI", "Comm", "virtual_nbytes"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "SimMPI",
+    "Comm",
+    "virtual_nbytes",
+    "payload_checksum",
+]
 
 #: Wildcards for :meth:`Comm.recv` matching.
 ANY_SOURCE = -1
@@ -51,6 +60,11 @@ class Message:
     nbytes: float  # virtual bytes, for accounting
     sent_at: float
     delivered_at: float
+    #: Per-(src, dst) sequence number for duplicate suppression; -1 on
+    #: unarmed runs (no fault injector).
+    seq: int = -1
+    #: CRC32 over the payload's array bytes; None on unarmed runs.
+    checksum: Optional[int] = None
 
 
 def _copy_payload(payload: Any) -> Any:
@@ -62,6 +76,32 @@ def _copy_payload(payload: Any) -> Any:
     if isinstance(payload, dict):
         return {k: _copy_payload(v) for k, v in payload.items()}
     return payload
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC32 over a payload's structure and ndarray bytes.
+
+    Armed sends stamp this on the envelope; the retry wrapper in
+    :mod:`repro.mpi.collectives` recomputes it on receipt, so injected
+    bit-flips are detected and the pristine copy re-requested."""
+    crc = 0
+
+    def walk(p: Any) -> None:
+        nonlocal crc
+        if isinstance(p, np.ndarray):
+            crc = zlib.crc32(np.ascontiguousarray(p).tobytes(), crc)
+        elif isinstance(p, (list, tuple)):
+            for x in p:
+                walk(x)
+        elif isinstance(p, dict):
+            for key, x in p.items():
+                crc = zlib.crc32(repr(key).encode(), crc)
+                walk(x)
+        else:
+            crc = zlib.crc32(repr(p).encode(), crc)
+
+    walk(payload)
+    return crc
 
 
 class SimMPI:
@@ -87,6 +127,10 @@ class SimMPI:
         self.bytes_internode = 0.0
         self.bytes_intranode = 0.0
         self.message_count = 0
+        #: Armed by the driver with a
+        #: :class:`~repro.faults.injector.FaultInjector`; None (the
+        #: default) keeps the transport on its zero-overhead path.
+        self.injector = None
 
     def virtual_nbytes(self, payload: Any) -> float:
         return virtual_nbytes(payload, self.cluster.cost)
@@ -107,6 +151,12 @@ class SimMPI:
         sent_at = self.env.now
         src_node, dst_node = self.rank_to_node[src], self.rank_to_node[dst]
         buffered = _copy_payload(payload)
+        injector = self.injector
+        seq = -1
+        checksum = None
+        if injector is not None:
+            seq = injector.next_seq(src, dst)
+            checksum = payload_checksum(buffered)
         yield from self.cluster.transfer(
             src_node, dst_node, nbytes, label=f"r{src}->r{dst} t{tag}"
         )
@@ -115,9 +165,11 @@ class SimMPI:
         else:
             self.bytes_internode += nbytes
         self.message_count += 1
-        self._mailboxes[dst].put(
-            Message(src, tag, buffered, nbytes, sent_at, self.env.now)
-        )
+        msg = Message(src, tag, buffered, nbytes, sent_at, self.env.now, seq, checksum)
+        if injector is None:
+            self._mailboxes[dst].put(msg)
+        else:
+            injector.process_send(self, dst, msg)
 
 
 class Comm:
@@ -181,12 +233,23 @@ class Comm:
             name=f"isend r{self.me_world}->l{dst} t{tag}",
         )
 
-    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: Optional[float] = None):
         """Generator: blocking receive; returns the payload.
 
         ``src`` is communicator-local (or :data:`ANY_SOURCE`); matching
-        is FIFO among messages that satisfy (src, tag).
+        is FIFO among messages that satisfy (src, tag).  With a
+        ``timeout`` (simulated seconds) the receive raises
+        :class:`~repro.errors.CommTimeoutError` if nothing matched
+        within the deadline - the detection primitive for lost
+        messages and dead peers.
         """
+        msg = yield from self.recv_message(src, tag, timeout=timeout)
+        return msg.payload
+
+    def recv_message(
+        self, src: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: Optional[float] = None
+    ):
+        """Like :meth:`recv` but returns the full :class:`Message`."""
         me = self.me_world
         if me is None:
             raise ConfigurationError("recv on unlocalized communicator")
@@ -202,26 +265,24 @@ class Comm:
                 return False
             return True
 
-        msg = yield self.mpi._mailboxes[me].get(match)
-        return msg.payload
-
-    def recv_message(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Like :meth:`recv` but returns the full :class:`Message`."""
-        me = self.me_world
-        want_src_world = None if src == ANY_SOURCE else self.world_ranks[src]
-        member_worlds = set(self.world_ranks)
-
-        def match(msg: Message) -> bool:
-            if want_src_world is not None and msg.src != want_src_world:
-                return False
-            if want_src_world is None and msg.src not in member_worlds:
-                return False
-            if tag != ANY_TAG and msg.tag != tag:
-                return False
-            return True
-
-        msg = yield self.mpi._mailboxes[me].get(match)
-        return msg
+        mailbox = self.mpi._mailboxes[me]
+        get_ev = mailbox.get(match)
+        if timeout is None:
+            msg = yield get_ev
+            return msg
+        deadline = self.env.timeout(timeout)
+        yield self.env.any_of([get_ev, deadline])
+        if get_ev.triggered:
+            return get_ev.value
+        # Withdraw the pending getter so a late arrival is not consumed
+        # by an abandoned receive (it stays queued for the retry).
+        mailbox.cancel(get_ev)
+        raise CommTimeoutError(
+            f"rank {self.rank} recv(src={src}, tag={tag}) timed out after {timeout:g}s",
+            rank=self.rank,
+            src=src,
+            tag=tag,
+        )
 
 
 def virtual_nbytes(payload: Any, cost) -> float:

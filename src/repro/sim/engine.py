@@ -130,6 +130,16 @@ class Event:
         self.env._schedule(self, priority=NORMAL)
         return self
 
+    def defuse(self) -> None:
+        """Declare this event's (current or future) failure handled.
+
+        An unwaited-for failed event aborts the simulation when
+        processed; a supervisor that deliberately kills a process (e.g.
+        the crash-recovery driver interrupting stray relay sends) calls
+        this so the induced failure does not take the run down with it.
+        """
+        self._defused = True
+
     def _mark_processed(self) -> None:
         self._processed = True
 

@@ -88,15 +88,39 @@ class Resource:
             self._users.add(nxt)
             nxt.succeed()
 
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request, whatever its state.
+
+        Safe to call from an exception path: a queued request is
+        removed from the wait queue, a granted one is released, and a
+        request already withdrawn is ignored.  Without this, a process
+        interrupted while waiting on (or holding) the resource would
+        leak a slot and eventually wedge every later user - exactly
+        the hazard of crashing a rank mid-transfer.
+        """
+        if request in self._users:
+            self.release(request)
+            return
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
     def use(self, duration: float):
         """Generator helper: acquire, hold for ``duration``, release.
 
         Returns the simulated time at which the resource was acquired,
-        so callers can measure queueing delay.
+        so callers can measure queueing delay.  Interrupt-safe: an
+        exception thrown into the generator at any point (e.g. a rank
+        crash) withdraws the request instead of leaking the slot.
         """
         req = self.request()
         t_asked = self.env.now
-        yield req
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
         t_got = self.env.now
         self.total_wait_time += t_got - t_asked
         try:
@@ -139,6 +163,26 @@ class Store:
         self._getters.append(ev)
         self._dispatch()
         return ev
+
+    def cancel(self, getter: Event) -> None:
+        """Withdraw a pending ``get`` (e.g. when a receive times out).
+
+        A getter that already matched (or was never issued here) is
+        ignored, so the call is safe from any cleanup path.
+        """
+        try:
+            self._getters.remove(getter)  # type: ignore[arg-type]
+        except ValueError:
+            pass
+
+    def reset(self) -> None:
+        """Drop all queued items and pending getters.
+
+        Used by crash recovery to discard in-flight messages and
+        abandoned receives before a world restarts from a checkpoint.
+        """
+        self.items.clear()
+        self._getters.clear()
 
     def _dispatch(self) -> None:
         while self._getters and self.items:

@@ -147,6 +147,26 @@ class Tracer:
             return 0.0
         return max(s.end for s in self.spans) - min(s.start for s in self.spans)
 
+    def event_digest(self) -> str:
+        """A byte-exact fingerprint of the recorded event ordering.
+
+        Spans are serialized in *recording order* with full float
+        precision, so two runs produce the same digest iff they
+        recorded the same spans in the same order - the determinism
+        contract the fault-injection suite pins (same seed + same
+        FaultPlan ⇒ identical event ordering).
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for s in self.spans:
+            h.update(
+                f"{s.actor}|{s.category}|{s.label}|{s.start!r}|{s.end!r}\n".encode()
+            )
+        for key in sorted(self.counters):
+            h.update(f"{key}={self.counters[key]!r}\n".encode())
+        return h.hexdigest()
+
 
 def render_gantt(
     tracer: Tracer,

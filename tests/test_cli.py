@@ -130,3 +130,99 @@ class TestCommands:
             ]
         )
         assert rc == 0
+
+
+class TestFaultFlags:
+    ARGS = ["solve", "--n", "48", "--block", "8", "--nodes", "2", "--ranks-per-node", "2"]
+
+    def test_faults_flag_prints_counters(self, capsys):
+        rc = main(
+            self.ARGS
+            + ["--faults", "drop:src=0,dst=1,nth=1", "--recv-timeout", "5e-4", "--validate"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault injection / recovery:" in out
+        assert "faults.dropped" in out and "faults.retransmits" in out
+
+    def test_chaos_run_validates(self, capsys):
+        rc = main(
+            self.ARGS
+            + [
+                "--faults", "crash:rank=1,at=1.5e-4",
+                "--faults", "nic:node=0,factor=4,t0=0,t1=2e-4",
+                "--recv-timeout", "5e-4", "--checkpoint-interval", "2", "--validate",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults.restarts" in out
+        assert "validation: OK" in out
+
+    def test_fault_plan_env_var(self, capsys, monkeypatch):
+        from repro.faults import FAULT_PLAN_ENV, FaultPlan
+
+        plan = FaultPlan.from_specs(["dup:src=0,dst=1,nth=1"])
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        rc = main(self.ARGS + ["--validate"])
+        assert rc == 0
+        assert "faults.duplicates_suppressed" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Each error class maps to a distinct, stable exit code."""
+
+    def test_bad_fault_spec_is_configuration_error(self, capsys):
+        rc = main(
+            ["solve", "--n", "16", "--block", "4", "--nodes", "1",
+             "--ranks-per-node", "2", "--faults", "explode:rank=0"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_weights_is_validation_error(self, tmp_path, capsys):
+        w = uniform_random_dense(16, seed=0)
+        w[3, 4] = np.nan
+        path = tmp_path / "bad.npz"
+        save_matrix(path, w)
+        rc = main(
+            ["solve", "--input", str(path), "--block", "4", "--nodes", "1",
+             "--ranks-per-node", "2"]
+        )
+        assert rc == 3
+        assert "NaN" in capsys.readouterr().err
+
+    def test_unrecovered_crash_is_rank_failure(self, capsys):
+        rc = main(
+            ["solve", "--n", "48", "--block", "8", "--nodes", "2",
+             "--ranks-per-node", "2", "--faults", "crash:rank=1,at=1.5e-4",
+             "--faults", "policy:restarts=0"]
+        )
+        assert rc == 8
+        assert "rank" in capsys.readouterr().err
+
+    def test_mapping_is_ordered_most_specific_first(self):
+        from repro.cli import _exit_code_for
+        from repro.errors import (
+            BackendUnavailableError,
+            CheckpointError,
+            CommTimeoutError,
+            ConfigurationError,
+            GpuOutOfMemory,
+            NegativeCycleError,
+            RankFailure,
+            ReproError,
+            ValidationError,
+        )
+
+        assert _exit_code_for(ConfigurationError("x")) == 2
+        assert _exit_code_for(ValidationError("x")) == 3
+        assert _exit_code_for(NegativeCycleError(0, -1.0)) == 4
+        assert _exit_code_for(GpuOutOfMemory(100, 10, 50)) == 5
+        # BackendUnavailableError subclasses ConfigurationError but keeps
+        # its own code.
+        assert _exit_code_for(BackendUnavailableError("cupy", "not installed")) == 6
+        assert _exit_code_for(CommTimeoutError("x", rank=0, src=1, tag=2)) == 7
+        assert _exit_code_for(RankFailure("x")) == 8
+        assert _exit_code_for(CheckpointError("x")) == 9
+        assert _exit_code_for(ReproError("x")) == 1

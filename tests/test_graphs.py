@@ -29,6 +29,7 @@ from repro.graphs import (
     save_matrix,
     scipy_floyd_warshall,
     uniform_random_dense,
+    validate_weights,
 )
 from repro.semiring import INF, floyd_warshall
 
@@ -228,3 +229,55 @@ class TestValidationHelpers:
         np.fill_diagonal(bad, -0.5)
         with pytest.raises(ValidationError):
             check_apsp_invariants(dense24, bad)
+
+
+class TestWeightValidation:
+    """NaN / -inf weights are rejected at load and generation time."""
+
+    def test_valid_weights_pass_through(self, dense24):
+        assert validate_weights(dense24) is dense24
+
+    def test_plus_inf_is_fine(self, sparse30):
+        assert validate_weights(sparse30) is sparse30
+
+    def test_nan_rejected_with_location(self):
+        w = uniform_random_dense(6, seed=1)
+        w[2, 4] = np.nan
+        with pytest.raises(ValidationError, match=r"NaN.*\(2, 4\)"):
+            validate_weights(w)
+
+    def test_neg_inf_rejected_with_location(self):
+        w = uniform_random_dense(6, seed=1)
+        w[5, 0] = -INF
+        with pytest.raises(ValidationError, match=r"-inf.*\(5, 0\)"):
+            validate_weights(w)
+
+    def test_load_matrix_rejects_nan(self, tmp_path):
+        w = uniform_random_dense(8, seed=2)
+        w[1, 3] = np.nan
+        path = tmp_path / "corrupt.npz"
+        save_matrix(path, w)
+        with pytest.raises(ValidationError, match="NaN"):
+            load_matrix(path)
+
+    def test_load_matrix_rejects_neg_inf(self, tmp_path):
+        w = uniform_random_dense(8, seed=2)
+        w[0, 7] = -INF
+        path = tmp_path / "corrupt.npz"
+        save_matrix(path, w)
+        with pytest.raises(ValidationError, match="-inf"):
+            load_matrix(path)
+
+    def test_from_edge_list_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            from_edge_list(4, [(0, 1, 2.0), (1, 2, float("nan"))])
+
+    def test_from_edge_list_rejects_neg_inf(self):
+        with pytest.raises(ValidationError, match="-inf"):
+            from_edge_list(4, [(0, 1, 2.0), (2, 3, -INF)])
+
+    def test_load_edge_list_rejects_nan(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# vertices 3\n0 1 2.5\n1 2 nan\n")
+        with pytest.raises(ValidationError, match="NaN"):
+            load_edge_list(path)

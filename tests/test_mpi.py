@@ -358,3 +358,66 @@ class TestRingProperties:
         tree_max, _ = run("tree")
         # Tree root forwards to 3 children (log2 8); ring nodes relay once.
         assert tree_max == pytest.approx(3 * ring_max)
+
+
+class TestReservedTags:
+    """Collective control traffic lives on negative reserved tags, so a
+    user tag can never collide with (or spoof) it."""
+
+    def test_reserved_tag_constants(self):
+        from repro.mpi.collectives import BARRIER_TAG, GATHER_TAG
+
+        assert BARRIER_TAG == -7
+        assert GATHER_TAG == -9
+        assert BARRIER_TAG != GATHER_TAG
+
+    @pytest.mark.parametrize("bad_tag", [-1, -7, -9])
+    def test_bcast_rejects_negative_user_tag(self, env, bad_tag):
+        mpi, _ = make_world(env)
+        world = mpi.world()
+
+        def prog():
+            yield from bcast_tree(world.localize(0), 0, "x", tag=bad_tag)
+
+        env.process(prog())
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            env.run()
+
+    def test_ring_rejects_negative_user_tag(self, env):
+        mpi, _ = make_world(env)
+        world = mpi.world()
+
+        def prog():
+            yield from bcast_ring(world.localize(0), 0, "x", tag=-3)
+
+        env.process(prog())
+        with pytest.raises(ConfigurationError):
+            env.run()
+
+    def test_barrier_and_gather_use_reserved_tags(self, env):
+        """Collectives work even while user traffic occupies tag 0 -
+        the reserved tags keep them in separate mailboxes."""
+        from repro.mpi.collectives import BARRIER_TAG, GATHER_TAG
+
+        mpi, _ = make_world(env, n_ranks=2, n_nodes=1)
+        world = mpi.world()
+        out = {}
+
+        def rank0():
+            comm = world.localize(0)
+            yield from comm.send(1, "user payload", tag=0)
+            yield from barrier(comm)
+            out["gathered"] = yield from gather(comm, 0, "from-0")
+
+        def rank1():
+            comm = world.localize(1)
+            yield from barrier(comm)
+            yield from gather(comm, 0, "from-1")  # non-root contributes
+            out["user"] = yield from comm.recv(src=0, tag=0)
+
+        env.process(rank0())
+        env.process(rank1())
+        env.run()
+        assert out["user"] == "user payload"
+        assert out["gathered"] == ["from-0", "from-1"]
+        assert BARRIER_TAG < 0 and GATHER_TAG < 0
