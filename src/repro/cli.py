@@ -44,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--variant",
         default="async",
-        choices=["baseline", "pipelined", "reordering", "async", "offload"],
+        choices=["baseline", "pipelined", "reordering", "async", "offload",
+                 "offload-pipelined"],
     )
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--density", type=float, default=1.0, help="edge probability")

@@ -1,6 +1,5 @@
 """Distributed Floyd-Warshall variants and the public APSP driver."""
 
-from .baseline import baseline_program
 from .blocked import blocked_fw, blocked_fw_inplace, blocked_fw_paths
 from .context import FwContext, RankState, SolverConfig
 from .distribution import (
@@ -12,10 +11,28 @@ from .distribution import (
     pad_to_blocks,
 )
 from .driver import ApspResult, apsp, default_block_size, placement_for_variant
+from .executor import (
+    GpuResident,
+    HostResident,
+    ResidencyPolicy,
+    execute_schedule,
+    offload_gpu_footprint,
+)
 from .grid import ProcessGrid, factor_pairs, near_square_factors
-from .offload import offload_gpu_footprint, offload_program
 from .oog_srgemm import OogStats, TileTask, oog_srgemm_plan, run_oog_pipeline
-from .pipelined import pipelined_program
+from .programs import (
+    baseline_program,
+    offload_pipelined_program,
+    offload_program,
+    pipelined_program,
+    program_for_config,
+)
+from .schedule import (
+    BulkSyncSchedule,
+    LookaheadSchedule,
+    SchedulePolicy,
+    ScheduleOp,
+)
 from .placement import (
     RankPlacement,
     contiguous_placement,
@@ -41,6 +58,16 @@ __all__ = [
     "baseline_program",
     "pipelined_program",
     "offload_program",
+    "offload_pipelined_program",
+    "program_for_config",
+    "execute_schedule",
+    "ScheduleOp",
+    "SchedulePolicy",
+    "BulkSyncSchedule",
+    "LookaheadSchedule",
+    "ResidencyPolicy",
+    "GpuResident",
+    "HostResident",
     "offload_gpu_footprint",
     "run_oog_pipeline",
     "oog_srgemm_plan",

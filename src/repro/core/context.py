@@ -4,11 +4,11 @@ A :class:`FwContext` holds everything common to one distributed run
 (simulation environment, cluster, MPI world, grid, placement, cost
 model, configuration); a :class:`RankState` holds one rank's view
 (its communicators, its blocks, its GPU binding).  The actual rank
-*programs* live in :mod:`repro.core.baseline`,
-:mod:`repro.core.pipelined` and :mod:`repro.core.offload`; the
+*programs* are schedule-IR op streams (:mod:`repro.core.schedule`)
+lowered by the single executor (:mod:`repro.core.executor`); the
 operation generators here (:func:`diag_update`, :func:`diag_bcast`,
 :func:`panel_update_row` / ``_col``, :func:`panel_bcast`,
-:func:`outer_update`) are the building blocks all of them compose,
+:func:`outer_update`) are the building blocks that lowering composes,
 mirroring the paper's kernel decomposition (its §2.5.2 list).
 """
 
@@ -24,8 +24,9 @@ from ..machine.cluster import SimCluster
 from ..machine.cost import CostModel
 from ..machine.gpu import CudaStream, SimGPU
 from ..machine.host import HostCpu
-from ..mpi.collectives import bcast_ring, bcast_ring_segmented, bcast_tree
+from ..mpi.collectives import bcast_tree
 from ..mpi.comm import Comm, SimMPI
+from ..mpi.policy import BcastPolicy, bcast_policy_for
 from ..semiring.backends import KernelBackend, get_backend
 from ..semiring.closure import fw_inplace, squaring_steps
 from ..semiring.path_kernels import fw_inplace_paths
@@ -166,6 +167,12 @@ class FwContext:
         self.grid = grid
         self.placement = placement
         self.config = config
+        #: PanelBcast strategy (:mod:`repro.mpi.policy`), resolved from
+        #: the config once so lowering never branches on config strings.
+        self.bcast_policy: BcastPolicy = bcast_policy_for(
+            config.panel_bcast, async_relay=config.async_relay,
+            segments=config.ring_segments,
+        )
         self.nb = nb
         self.tracer = tracer
         self.cost: CostModel = cluster.cost
@@ -181,6 +188,16 @@ class FwContext:
         #: Unlocalized row/column communicators, by grid row/col index.
         self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]
         self.col_comms = [Comm(mpi, grid.col_ranks(c), me=None) for c in range(grid.pc)]
+
+    def reconfigure(self, config: SolverConfig) -> None:
+        """Swap the run configuration mid-flight (OOM degradation to
+        the offload variant) and re-resolve the policies derived from
+        it."""
+        self.config = config
+        self.bcast_policy = bcast_policy_for(
+            config.panel_bcast, async_relay=config.async_relay,
+            segments=config.ring_segments,
+        )
 
     @property
     def b(self) -> int:
@@ -469,45 +486,18 @@ def panel_bcast(state: RankState, k: int):
                 if not (sparse and _is_empty(ctx, state.blocks[(i, k)]))
             }
 
-    if ctx.config.panel_bcast == "ring":
-        if ctx.config.ring_segments > 1:
-            row_panel, relay1 = yield from bcast_ring_segmented(
-                state.col_comm,
-                root=krow,
-                payload=row_payload,
-                tag=Op.tag(k, Op.PANEL_ROW),
-                segments=ctx.config.ring_segments,
-            )
-            col_panel, relay2 = yield from bcast_ring_segmented(
-                state.row_comm,
-                root=kcol,
-                payload=col_payload,
-                tag=Op.tag(k, Op.PANEL_COL),
-                segments=ctx.config.ring_segments,
-            )
-        else:
-            row_panel, relay1 = yield from bcast_ring(
-                state.col_comm,
-                root=krow,
-                payload=row_payload,
-                tag=Op.tag(k, Op.PANEL_ROW),
-                async_relay=ctx.config.async_relay,
-            )
-            col_panel, relay2 = yield from bcast_ring(
-                state.row_comm,
-                root=kcol,
-                payload=col_payload,
-                tag=Op.tag(k, Op.PANEL_COL),
-                async_relay=ctx.config.async_relay,
-            )
-        state.pending.extend([relay1, relay2])
-    else:
-        row_panel = yield from bcast_tree(
-            state.col_comm, root=krow, payload=row_payload, tag=Op.tag(k, Op.PANEL_ROW)
-        )
-        col_panel = yield from bcast_tree(
-            state.row_comm, root=kcol, payload=col_payload, tag=Op.tag(k, Op.PANEL_COL)
-        )
+    policy = ctx.bcast_policy
+    row_panel, relay1 = yield from policy.bcast(
+        state.col_comm, root=krow, payload=row_payload, tag=Op.tag(k, Op.PANEL_ROW)
+    )
+    col_panel, relay2 = yield from policy.bcast(
+        state.row_comm, root=kcol, payload=col_payload, tag=Op.tag(k, Op.PANEL_COL)
+    )
+    # Asynchronous relays (ring policy) are parked until end-of-program
+    # drain; synchronous strategies return None.
+    for relay in (relay1, relay2):
+        if relay is not None:
+            state.pending.append(relay)
     return row_panel, col_panel
 
 

@@ -41,19 +41,18 @@ from ..semiring.closure import check_no_negative_cycle
 from ..semiring.minplus import MIN_PLUS, Semiring
 from ..sim.engine import Environment, Interrupt
 from ..sim.trace import Tracer
-from .baseline import baseline_program
 from .blocked import blocked_fw
 from .context import FwContext, RankState, SolverConfig
 from .distribution import collect, distribute, local_matrix_elems, pad_to_blocks
+from .executor import offload_gpu_footprint
 from .grid import ProcessGrid, near_square_factors
-from .offload import offload_gpu_footprint, offload_program
-from .pipelined import pipelined_program
 from .placement import (
     RankPlacement,
     contiguous_placement,
     optimal_placement,
     tiled_placement,
 )
+from .programs import program_for_config
 from .report import PerfReport
 from .variants import Variant, variant_config
 
@@ -87,8 +86,8 @@ def placement_for_variant(
     variant: Variant, grid: ProcessGrid, ranks_per_node: int
 ) -> RankPlacement:
     """Default placement per variant: launcher-style contiguous for
-    Baseline/Pipelined/Offload, the optimal K_r ≈ K_c tiling for
-    +Reordering and +Async."""
+    Baseline/Pipelined/Offload/Offload-Pipelined, the optimal
+    K_r ≈ K_c tiling for +Reordering and +Async."""
     if variant in (Variant.REORDERING, Variant.ASYNC):
         return optimal_placement(grid, ranks_per_node)
     try:
@@ -142,8 +141,9 @@ def apsp(
         Square weight matrix; ``semiring.zero`` (+inf) marks a missing
         edge.  The diagonal should be 0 (it is not forced).
     variant:
-        One of ``baseline | pipelined | reordering | async | offload``
-        (the paper's legends), or a :class:`Variant`.
+        One of ``baseline | pipelined | reordering | async | offload |
+        offload-pipelined`` (the paper's legends plus the pipelined
+        Me-ParallelFw the schedule IR unlocks), or a :class:`Variant`.
     block_size:
         Block size ``b``; defaults to :func:`default_block_size`.
     machine, n_nodes, ranks_per_node:
@@ -337,15 +337,10 @@ def apsp(
             raise
         return states
 
-    def program_for(cfg: SolverConfig):
-        return offload_program if cfg.offload else (
-            pipelined_program if cfg.pipelined else baseline_program
-        )
-
     run_config = config
     if ctx.faults is None:
         states = build_states(config, locals_, nxt_locals)
-        program = program_for(config)
+        program = program_for_config(config)
         procs = [env.process(program(state), name=f"rank{state.me}") for state in states]
         env.run()
         for p in procs:
@@ -355,7 +350,7 @@ def apsp(
     else:
         states, elapsed, run_config = _run_with_recovery(
             ctx, plan, injector, config, locals_, nxt_locals,
-            build_states, teardown_states, program_for,
+            build_states, teardown_states, program_for_config,
         )
 
     dist = None
@@ -578,5 +573,5 @@ def _degrade_to_offload(
     except ConfigurationError:
         raise oom_exc from None
     injector.count("faults.oom_degraded")
-    ctx.config = degraded
+    ctx.reconfigure(degraded)
     return degraded

@@ -1,0 +1,75 @@
+"""Named rank programs as policy combinations.
+
+Every solver variant is one point in the (schedule, residency,
+broadcast) policy space; the broadcast axis lives on the context
+(:attr:`~repro.core.context.FwContext.bcast_policy`) because it is
+consulted mid-run, while schedule and residency are fixed here at
+program-build time:
+
+===================  ==================  ==============
+program              SchedulePolicy      ResidencyPolicy
+===================  ==================  ==============
+baseline             bulk-sync (Alg. 3)  GPU-resident
+pipelined            look-ahead (Alg. 4) GPU-resident
+offload              bulk-sync           host-resident
+offload-pipelined    look-ahead          host-resident
+===================  ==================  ==============
+
+(The ``reordering`` and ``async`` variants reuse the pipelined program
+with a different placement / broadcast policy.)  ``offload-pipelined``
+is the combination the paper's implementation could not express -
+Me-ParallelFw with Algorithm 4's look-ahead, overlapping the ooGSrGemm
+tile pipeline with PanelBcast(k+1) - and here it is exactly the
+definition below: no new schedule code, just a new pairing.
+"""
+
+from __future__ import annotations
+
+from .context import RankState, SolverConfig
+from .executor import GPU_RESIDENT, HOST_RESIDENT, execute_schedule, residency_policy_for
+from .schedule import BULK_SYNC, LOOKAHEAD, schedule_policy_for
+
+__all__ = [
+    "baseline_program",
+    "pipelined_program",
+    "offload_program",
+    "offload_pipelined_program",
+    "program_for_config",
+]
+
+
+def baseline_program(state: RankState, start_k: int = 0):
+    """Algorithm 3 (bulk-synchronous, GPU-resident) for one rank."""
+    return execute_schedule(state, BULK_SYNC, GPU_RESIDENT, start_k=start_k)
+
+
+def pipelined_program(state: RankState, start_k: int = 0):
+    """Algorithm 4 (look-ahead, GPU-resident) for one rank."""
+    return execute_schedule(state, LOOKAHEAD, GPU_RESIDENT, start_k=start_k)
+
+
+def offload_program(state: RankState, start_k: int = 0):
+    """Me-ParallelFw (bulk-synchronous, host-resident) for one rank."""
+    return execute_schedule(state, BULK_SYNC, HOST_RESIDENT, start_k=start_k)
+
+
+def offload_pipelined_program(state: RankState, start_k: int = 0):
+    """Pipelined Me-ParallelFw (look-ahead, host-resident) for one rank."""
+    return execute_schedule(state, LOOKAHEAD, HOST_RESIDENT, start_k=start_k)
+
+
+def program_for_config(config: SolverConfig):
+    """Resolve the rank program for a configuration: the schedule axis
+    from ``config.pipelined``, the residency axis from
+    ``config.offload``.  Returns a ``program(state, start_k=0)``
+    callable with the resolved policies attached for introspection."""
+    sched = schedule_policy_for(config.pipelined)
+    residency = residency_policy_for(config.offload)
+
+    def program(state: RankState, start_k: int = 0):
+        return execute_schedule(state, sched, residency, start_k=start_k)
+
+    program.schedule = sched  # type: ignore[attr-defined]
+    program.residency = residency  # type: ignore[attr-defined]
+    program.__name__ = f"{sched.name}x{residency.name}_program"
+    return program

@@ -12,7 +12,8 @@ __all__ = ["Variant", "variant_config", "VARIANT_DESCRIPTIONS"]
 
 
 class Variant(str, enum.Enum):
-    """The five configurations evaluated in the paper.
+    """The five configurations evaluated in the paper, plus the
+    schedule-IR-enabled sixth.
 
     * ``BASELINE`` - Algorithm 3: bulk-synchronous, tree broadcasts,
       launcher-default (contiguous) rank placement.
@@ -24,6 +25,11 @@ class Variant(str, enum.Enum):
       Co-ParallelFw.
     * ``OFFLOAD`` - Me-ParallelFw: the baseline schedule with the
       distance matrix in host DRAM and ooGSrGemm outer products.
+    * ``OFFLOAD_PIPELINED`` - Me-ParallelFw under the look-ahead
+      schedule: the ooGSrGemm tile pipeline of OuterUpdate(k) runs
+      while the rank participates in PanelBcast(k+1).  The paper never
+      evaluates this combination (its implementation could not express
+      it); the schedule IR makes it one policy pairing.
     """
 
     BASELINE = "baseline"
@@ -31,13 +37,14 @@ class Variant(str, enum.Enum):
     REORDERING = "reordering"
     ASYNC = "async"
     OFFLOAD = "offload"
+    OFFLOAD_PIPELINED = "offload-pipelined"
 
     @classmethod
     def parse(cls, value: "str | Variant") -> "Variant":
         if isinstance(value, Variant):
             return value
         try:
-            return cls(value.lower())
+            return cls(value.lower().replace("_", "-"))
         except ValueError:
             raise ConfigurationError(
                 f"unknown variant {value!r}; choose from "
@@ -51,6 +58,10 @@ VARIANT_DESCRIPTIONS = {
     Variant.REORDERING: "Pipelined + optimal K_r≈K_c rank placement",
     Variant.ASYNC: "Reordering + asynchronous ring PanelBcast (Co-ParallelFw)",
     Variant.OFFLOAD: "Me-ParallelFw: host-resident matrix + ooGSrGemm offload",
+    Variant.OFFLOAD_PIPELINED: (
+        "Me-ParallelFw + Algorithm 4 look-ahead: ooGSrGemm outer product "
+        "overlapped with PanelBcast(k+1)"
+    ),
 }
 
 
@@ -70,4 +81,6 @@ def variant_config(variant: "str | Variant", base: SolverConfig) -> SolverConfig
         return replace(base, pipelined=True, panel_bcast="ring", async_relay=True, offload=False)
     if v is Variant.OFFLOAD:
         return replace(base, pipelined=False, panel_bcast="tree", offload=True)
+    if v is Variant.OFFLOAD_PIPELINED:
+        return replace(base, pipelined=True, panel_bcast="tree", offload=True)
     raise ConfigurationError(f"unhandled variant {v}")  # pragma: no cover

@@ -17,7 +17,14 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-__all__ = ["Span", "Tracer", "render_gantt"]
+__all__ = ["Span", "Tracer", "render_gantt", "OP_CATEGORY_PREFIX"]
+
+#: Category prefix of task-level spans the schedule executor records -
+#: one span per IR op that consumed simulated time (category
+#: ``op:DiagUpdate``, ``op:PanelBcast``, ...), keyed by ``rank<i>``
+#: actors.  Coarser than the per-kernel/engine spans, these give the
+#: per-op timeline of a rank program (paper Fig. 2 granularity).
+OP_CATEGORY_PREFIX = "op:"
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,19 @@ class Tracer:
 
     def spans_by_actor(self, actor: str) -> list[Span]:
         return [s for s in self.spans if s.actor == actor]
+
+    def op_spans(self, op: Optional[str] = None, actor: Optional[str] = None) -> list[Span]:
+        """Task-level schedule-IR spans (categories ``op:*``), optionally
+        restricted to one op name (e.g. ``"OuterUpdate"``) and/or one
+        actor (e.g. ``"rank0"``)."""
+        want = None if op is None else OP_CATEGORY_PREFIX + op
+        return [
+            s
+            for s in self.spans
+            if s.category.startswith(OP_CATEGORY_PREFIX)
+            and (want is None or s.category == want)
+            and (actor is None or s.actor == actor)
+        ]
 
     def actors(self) -> list[str]:
         seen: dict[str, None] = {}

@@ -1,0 +1,337 @@
+"""Schedule-IR refactor acceptance tests.
+
+Pins the exactness contract of the single executor
+(:mod:`repro.core.executor`): every pre-refactor variant must come out
+*bit-identical* (distance hashes) and *cost-identical* (simulated
+makespans) to runs recorded on the commit before the refactor, the new
+``offload-pipelined`` variant must be correct and actually overlap,
+``start_k`` must be validated and resumable at {0, mid, nb} for every
+variant, and a crash + checkpoint restart must recover bit-exactly
+under the new executor (the CI schedule-equivalence job runs this
+module).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProcessGrid,
+    RankState,
+    apsp,
+    baseline_program,
+    collect,
+    distribute,
+    offload_pipelined_program,
+    offload_program,
+    pad_to_blocks,
+    pipelined_program,
+    placement_for_variant,
+    program_for_config,
+    variant_config,
+)
+from repro.core.context import FwContext, SolverConfig
+from repro.core.schedule import (
+    BULK_SYNC,
+    LOOKAHEAD,
+    Checkpoint,
+    DiagBcast,
+    DiagUpdate,
+    OuterUpdate,
+    PanelBcast,
+    PanelUpdate,
+    WaitOuter,
+)
+from repro.core.variants import VARIANT_DESCRIPTIONS, Variant
+from repro.errors import ConfigurationError
+from repro.extensions.paths import path_length, reconstruct_path
+from repro.faults import CheckpointStore, FaultPlan
+from repro.faults.injector import FaultInjector, FaultRuntime
+from repro.graphs import scipy_floyd_warshall, uniform_random_dense
+from repro.machine import SUMMIT, CostModel, SimCluster
+from repro.mpi.comm import SimMPI
+from repro.semiring.path_kernels import NO_HOP
+from repro.sim import Environment
+
+# ---------------------------------------------------------------------------
+# Recorded pre-refactor runs (captured on commit b5009eb, before the
+# schedule IR existed).  The executor must reproduce them exactly.
+# ---------------------------------------------------------------------------
+
+#: Real workload: uniform_random_dense(30, seed), b=5, 2 nodes x 3 ranks.
+REAL_KW = dict(block_size=5, n_nodes=2, ranks_per_node=3)
+RECORDED_ELAPSED = {
+    "baseline": 0.0002740077794117649,
+    "pipelined": 0.000346252455882353,
+    "reordering": 0.000346252455882353,
+    "async": 0.00034372901838235296,
+    "offload": 0.0003222435441176473,
+}
+#: SHA-256 of the distance matrix bytes - identical across variants.
+RECORDED_DIST_SHA = {
+    0: "a212b9afbc9074bd6042ae010bbbd2b369c9014a7246079a921f1247fc8c7c3a",
+    1: "b95b93ea5d1ab404adbfde5466cb4fa02b32771a864e3d75b8cf76d431a720f2",
+    2: "9f4b377f89436d306998b3acf3f0b58d9dbfef734a721084d009ff05f4866906",
+}
+#: Hollow paper-scale workload: nb=24 blocks of b=1 scaled by 768
+#: (B_VIRT), 4 nodes x 4 ranks, no numerics.
+HOLLOW_KW = dict(
+    block_size=1, n_nodes=4, ranks_per_node=4, dim_scale=768.0,
+    compute_numerics=False, collect_result=False, check_negative_cycles=False,
+)
+RECORDED_HOLLOW_ELAPSED = {
+    "baseline": 0.2967301259294111,
+    "pipelined": 0.18224039364705866,
+    "reordering": 0.17412427538823486,
+    "async": 0.14802366061176453,
+    "offload": 0.33496098522352896,
+}
+
+ALL_VARIANTS = ["baseline", "pipelined", "reordering", "async", "offload",
+                "offload-pipelined"]
+PAPER_VARIANTS = sorted(RECORDED_ELAPSED)
+
+
+def dist_sha(dist: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(dist).tobytes()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Variant x policy matrix: correctness + bit/cost exactness
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestVariantMatrix:
+    def test_matches_reference_and_recorded_bits(self, variant, seed):
+        w = uniform_random_dense(30, seed=seed)
+        result = apsp(w, variant=variant, **REAL_KW)
+        ref = scipy_floyd_warshall(w)
+        assert np.allclose(result.dist, ref)
+        # Bit-exact across all six variants and vs the pre-refactor runs.
+        assert dist_sha(result.dist) == RECORDED_DIST_SHA[seed]
+
+
+@pytest.mark.parametrize("variant", PAPER_VARIANTS)
+def test_recorded_makespans_real(variant):
+    w = uniform_random_dense(30, seed=0)
+    result = apsp(w, variant=variant, **REAL_KW)
+    assert result.report.elapsed == RECORDED_ELAPSED[variant]
+
+
+@pytest.mark.parametrize("variant", PAPER_VARIANTS)
+def test_recorded_makespans_hollow(variant):
+    w = np.zeros((24, 24), dtype=np.float32)
+    result = apsp(w, variant=variant, **HOLLOW_KW)
+    assert result.report.elapsed == RECORDED_HOLLOW_ELAPSED[variant]
+
+
+def test_offload_pipelined_overlaps_hollow():
+    """The new sixth variant: look-ahead Me-ParallelFw beats the
+    bulk-synchronous offload at paper scale because PanelBcast(k+1)
+    rides under the ooGSrGemm tile pipeline."""
+    w = np.zeros((24, 24), dtype=np.float32)
+    plain = apsp(w, variant="offload", **HOLLOW_KW)
+    piped = apsp(w, variant="offload-pipelined", **HOLLOW_KW)
+    assert piped.report.elapsed < plain.report.elapsed
+
+
+@pytest.mark.parametrize("variant", ["baseline", "pipelined", "reordering", "async"])
+def test_next_matrix_matches_reference(variant):
+    """Next-hop matrices through the executor: every finite pair's
+    traced path exists and realizes the reference distance."""
+    w = uniform_random_dense(18, seed=4)
+    result = apsp(w, variant=variant, block_size=3, n_nodes=2,
+                  ranks_per_node=2, track_paths=True)
+    ref = scipy_floyd_warshall(w)
+    assert np.allclose(result.dist, ref)
+    nxt = result.next_hops
+    n = w.shape[0]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if np.isfinite(ref[i, j]):
+                p = reconstruct_path(nxt, i, j)
+                assert p is not None and p[0] == i and p[-1] == j
+                assert path_length(w, p) == pytest.approx(ref[i, j])
+            else:
+                assert nxt[i, j] == NO_HOP
+
+
+def test_offload_pipelined_is_selectable_everywhere():
+    assert Variant.parse("offload-pipelined") is Variant.OFFLOAD_PIPELINED
+    assert Variant.parse("offload_pipelined") is Variant.OFFLOAD_PIPELINED
+    assert Variant.OFFLOAD_PIPELINED in VARIANT_DESCRIPTIONS
+    cfg = variant_config(Variant.OFFLOAD_PIPELINED, SolverConfig(block_size=4))
+    assert cfg.pipelined and cfg.offload
+    program = program_for_config(cfg)
+    assert program.schedule is LOOKAHEAD
+    assert program.residency.name == "host"
+
+
+# ---------------------------------------------------------------------------
+# Schedule IR structure
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleStructure:
+    def test_bulk_sync_iteration_shape(self):
+        ops = BULK_SYNC.iteration(2, 6)
+        assert ops == [
+            Checkpoint(2),
+            DiagUpdate(2),
+            DiagBcast(2),
+            PanelUpdate(2, "row", wait=True),
+            PanelUpdate(2, "col", wait=True),
+            PanelBcast(2),
+            OuterUpdate(2, wait=True),
+        ]
+        assert BULK_SYNC.prologue(0, 6) == []
+
+    def test_lookahead_overlap_structure(self):
+        """PanelBcast(k+1) sits between the async OuterUpdate(k) launch
+        and its join - the comm/compute overlap, visible as data."""
+        ops = LOOKAHEAD.iteration(2, 6)
+        launch = ops.index(OuterUpdate(2, wait=False))
+        bcast = ops.index(PanelBcast(3))
+        join = ops.index(WaitOuter())
+        assert launch < bcast < join
+
+    def test_lookahead_last_iteration_degenerates(self):
+        """No k+1 to look ahead to: the final iteration is just
+        checkpoint, launch, join."""
+        assert LOOKAHEAD.iteration(5, 6) == [
+            Checkpoint(5),
+            OuterUpdate(5, wait=False),
+            WaitOuter(),
+        ]
+
+    def test_lookahead_resume_prologue_skips_updates(self):
+        """Resume carries already-updated start_k panels: only the
+        broadcast is replayed (and nothing at all at start_k == nb)."""
+        assert LOOKAHEAD.prologue(3, 6) == [PanelBcast(3)]
+        assert LOOKAHEAD.prologue(6, 6) == []
+        assert LOOKAHEAD.prologue(0, 6)[:1] == [DiagUpdate(0)]
+
+    def test_full_op_stream_covers_all_iterations(self):
+        ks = [op.k for op in BULK_SYNC.ops(0, 4) if isinstance(op, OuterUpdate)]
+        assert ks == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# start_k validation + resume equivalence (manual worlds mirroring the
+# driver's internals, so start_k can be driven directly)
+# ---------------------------------------------------------------------------
+
+N, B = 30, 5
+NODES, RPN = 2, 3
+
+
+class World:
+    """A hand-assembled run (the driver without its frontend), exposing
+    program/start_k directly."""
+
+    def __init__(self, variant: str, blocks_by_rank=None, fault_plan=None):
+        var = Variant.parse(variant)
+        self.w = uniform_random_dense(N, seed=0)
+        padded, self.n_orig = pad_to_blocks(self.w, B, SolverConfig(block_size=B).semiring)
+        self.nb = padded.shape[0] // B
+        n_ranks = NODES * RPN
+        pr_pc = ProcessGrid(2, 3)
+        self.grid = pr_pc
+        placement = placement_for_variant(var, self.grid, RPN)
+        env = Environment()
+        cost = CostModel(SUMMIT)
+        cluster = SimCluster(env, SUMMIT, NODES, cost, None)
+        mpi = SimMPI(env, cluster, [placement.node_of(r) for r in range(n_ranks)], None)
+        config = variant_config(var, SolverConfig(block_size=B))
+        self.ctx = FwContext(env, cluster, mpi, self.grid, placement, config, self.nb, None)
+        if fault_plan is not None:
+            injector = FaultInjector(fault_plan, None)
+            injector.attach(mpi)
+            mpi.injector = injector
+            cluster.injector = injector
+            self.ctx.faults = FaultRuntime(injector, CheckpointStore())
+        if blocks_by_rank is None:
+            blocks_by_rank = distribute(padded, B, self.grid)
+        self.states = [
+            RankState(self.ctx, r, blocks_by_rank[r]) for r in range(n_ranks)
+        ]
+        self.program = program_for_config(config)
+
+    def run(self, start_k: int = 0) -> np.ndarray:
+        env = self.ctx.env
+        procs = [
+            env.process(self.program(state, start_k=start_k), name=f"rank{state.me}")
+            for state in self.states
+        ]
+        env.run()
+        assert all(p.processed and p.ok for p in procs)
+        return collect([s.blocks for s in self.states], self.n_orig, B, self.grid)
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+class TestStartK:
+    def test_rejects_out_of_range(self, variant):
+        world = World(variant)
+        state = world.states[0]
+        for bad in (-1, world.nb + 1):
+            # Must raise at build time, not on first resume of the
+            # generator (a silent empty program would corrupt recovery).
+            with pytest.raises(ConfigurationError):
+                world.program(state, start_k=bad)
+
+    def test_resume_from_mid(self, variant):
+        """start_k = mid: restore every rank from a checkpoint taken at
+        the top of iteration mid and replay; bit-identical result."""
+        full = World(variant).run(start_k=0)
+        mid = 3
+        ckpt = World(variant, fault_plan=FaultPlan(checkpoint_interval=mid))
+        ckpt.run(start_k=0)
+        store = ckpt.ctx.faults.store
+        assert mid in store.checkpoints()
+        n_ranks = NODES * RPN
+        resumed = World(
+            variant, blocks_by_rank=[store.restore(mid, r) for r in range(n_ranks)]
+        ).run(start_k=mid)
+        assert resumed.tobytes() == full.tobytes()
+
+    def test_resume_from_nb_is_noop(self, variant):
+        """start_k = nb: a completed sweep; the program only drains."""
+        world = World(variant)
+        full = world.run(start_k=0)
+        done = World(
+            variant,
+            blocks_by_rank=[copy.deepcopy(s.blocks) for s in world.states],
+        ).run(start_k=world.nb)
+        assert done.tobytes() == full.tobytes()
+
+    def test_start_zero_matches_driver(self, variant):
+        """The manual world is faithful: start_k=0 equals apsp()."""
+        via_driver = apsp(uniform_random_dense(N, seed=0), variant=variant, **REAL_KW)
+        assert World(variant).run(start_k=0).tobytes() == via_driver.dist.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Fault smoke under the new executor: one crash + checkpoint resume per
+# variant, bit-compared to the fault-free run
+# ---------------------------------------------------------------------------
+
+SMOKE_PLAN = ("crash:rank=1,at=1.5e-4", "policy:timeout=5e-4,ckpt=2")
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_crash_checkpoint_resume_smoke(variant):
+    w = uniform_random_dense(48, seed=1)
+    kw = dict(block_size=8, n_nodes=2, ranks_per_node=2)
+    clean = apsp(w, variant=variant, **kw)
+    faulty = apsp(w, variant=variant, fault_plan=SMOKE_PLAN, **kw)
+    assert faulty.fault_counters["faults.crashes"] >= 1
+    assert faulty.fault_counters["faults.restarts"] >= 1
+    assert faulty.dist.tobytes() == clean.dist.tobytes()
