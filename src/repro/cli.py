@@ -92,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--fault-seed", type=int, default=0, help="seed for probabilistic fault selection"
     )
+    solve.add_argument(
+        "--verify",
+        default="off",
+        choices=["off", "checksum", "full"],
+        help="ABFT verification: 'checksum' guards every SrGemm with "
+        "(min,+) checksums and repairs corrupted tiles in place; 'full' "
+        "adds a per-iteration monotonicity sentinel and a sampled "
+        "triangle-inequality audit; a certificate is printed and a "
+        "failing one exits with a distinct code (see docs/FAULTS.md)",
+    )
     _add_cluster_args(solve)
 
     tune = sub.add_parser("tune", help="model-driven parameter recommendation")
@@ -144,12 +154,17 @@ def cmd_solve(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         recv_timeout=args.recv_timeout,
         fault_seed=args.fault_seed,
+        verify=args.verify,
     )
     print(result.report.summary())
     if result.fault_counters:
         print("\nfault injection / recovery:")
         for name, value in sorted(result.fault_counters.items()):
             print(f"  {name:<28s} {value:g}")
+    if result.verification is not None:
+        print("\nverification certificate:")
+        for key, value in result.verification.items():
+            print(f"  {key:<20s} {value}")
     if args.validate:
         print("validation: OK (matches sequential blocked Floyd-Warshall)")
     if args.trace and result.tracer is not None:
@@ -244,18 +259,22 @@ def _exit_code_for(exc: Exception) -> int:
         GpuOutOfMemory,
         NegativeCycleError,
         RankFailure,
+        SilentCorruptionError,
         ValidationError,
+        VerificationError,
     )
 
     for cls, code in (
         (BackendUnavailableError, 6),  # before its base ConfigurationError
         (ConfigurationError, 2),
+        (VerificationError, 11),  # before its base ValidationError
         (ValidationError, 3),
         (NegativeCycleError, 4),
         (GpuOutOfMemory, 5),
         (CommTimeoutError, 7),
         (RankFailure, 8),
         (CheckpointError, 9),
+        (SilentCorruptionError, 10),
     ):
         if isinstance(exc, cls):
             return code

@@ -113,6 +113,13 @@ class SolverConfig:
     #: outer products, path kernels, the offload pipeline - goes
     #: through the selected backend.
     kernel_backend: Optional[str] = None
+    #: ABFT verification level (:mod:`repro.verify`): ``"off"`` (the
+    #: default; a ``None`` context slot keeps every hook zero-cost),
+    #: ``"checksum"`` (guarded kernels + localized repair), or
+    #: ``"full"`` (adds the monotonicity sentinel and the certificate's
+    #: residual audit).  Verification runs inside the kernel closures,
+    #: so makespans are identical across modes.
+    verify: str = "off"
 
     def __post_init__(self):
         if self.block_size < 1:
@@ -142,6 +149,21 @@ class SolverConfig:
                 raise ConfigurationError(
                     "track_paths is not supported by the offload schedule; "
                     "use next_hop_from_distances on the collected result instead"
+                )
+        if self.verify not in ("off", "checksum", "full"):
+            raise ConfigurationError(
+                f"verify must be 'off', 'checksum' or 'full', got {self.verify!r}"
+            )
+        if self.verify != "off":
+            if not self.compute_numerics:
+                raise ConfigurationError(
+                    "verification needs compute_numerics=True (hollow runs "
+                    "have no data to checksum)"
+                )
+            if not self.semiring.idempotent_plus:
+                raise ConfigurationError(
+                    "ABFT checksums require an idempotent ⊕ (comparison "
+                    f"semirings); {self.semiring.name} is not"
                 )
 
 
@@ -184,6 +206,13 @@ class FwContext:
         #: (:class:`~repro.faults.injector.FaultRuntime`) when the run
         #: is armed; None keeps every hook on its zero-cost path.
         self.faults = None
+        #: ABFT verification runtime
+        #: (:class:`~repro.verify.runtime.VerifyRuntime`) when
+        #: ``config.verify != "off"``; None keeps every verification
+        #: hook on its zero-cost path, mirroring ``faults``.  Set by the
+        #: driver, which also swaps ``backend`` for the checksummed
+        #: wrapper.
+        self.verify = None
         self.world = mpi.world()
         #: Unlocalized row/column communicators, by grid row/col index.
         self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]
@@ -322,6 +351,11 @@ def diag_update(state: RankState, k: int) -> Event:
 
         def fn():
             fw_inplace(blk, semiring=ctx.semiring)
+
+    if ctx.verify is not None:
+        # Checksums do not distribute over the O(b³) closure; the guard
+        # checks the pivot block's stored sums and monotonicity instead.
+        fn = ctx.verify.wrap_closure(blk, fn)
 
     if ctx.config.diag_on_gpu:
         b_virt = max(2, int(round(ctx.cost.v(ctx.b))))

@@ -30,7 +30,9 @@ from ..errors import (
     ConfigurationError,
     GpuOutOfMemory,
     RankFailure,
+    SilentCorruptionError,
     ValidationError,
+    VerificationError,
 )
 from ..faults import CheckpointStore, FaultInjector, FaultPlan, FaultRuntime, resolve_fault_plan
 from ..machine.cluster import SimCluster
@@ -73,6 +75,11 @@ class ApspResult:
     #: ``faults.*`` injection/recovery counters (only when the run was
     #: armed with a fault plan); None on plain runs.
     fault_counters: Optional[dict[str, float]] = None
+    #: ABFT verification certificate (only when ``verify != "off"``):
+    #: checks run, corruption detected/repaired/escalated, and - in
+    #: ``full`` mode - the residual audit.  Also attached to
+    #: ``report.verification``.
+    verification: Optional[dict] = None
 
 
 def default_block_size(n: int, grid: ProcessGrid) -> int:
@@ -132,6 +139,7 @@ def apsp(
     checkpoint_interval: Optional[int] = None,
     recv_timeout: Optional[float] = None,
     fault_seed: int = 0,
+    verify: str = "off",
 ) -> ApspResult:
     """Solve all-pairs shortest paths on the simulated cluster.
 
@@ -189,6 +197,17 @@ def apsp(
     checkpoint_interval, recv_timeout, fault_seed:
         Recovery-policy shortcuts layered over ``fault_plan``
         (equivalent to a ``policy:`` spec).
+    verify:
+        ABFT verification level (:mod:`repro.verify`): ``"off"`` (zero
+        cost), ``"checksum"`` (guarded SrGemm ops with localized
+        repair), or ``"full"`` (adds the per-iteration monotonicity
+        sentinel and a residual audit in the certificate).  The
+        certificate lands in ``result.verification`` /
+        ``report.verification``; a failing certificate raises
+        :class:`~repro.errors.VerificationError`, and unrepairable
+        corruption without a restart path raises
+        :class:`~repro.errors.SilentCorruptionError`.  Sampling is
+        seeded by ``fault_seed``, so certificates are deterministic.
 
     Raises
     ------
@@ -244,6 +263,7 @@ def apsp(
             exploit_sparsity=exploit_sparsity,
             compute_numerics=compute_numerics,
             kernel_backend=kernel_backend,
+            verify=verify,
         ),
     )
     if track_paths and not compute_numerics:
@@ -274,6 +294,13 @@ def apsp(
                  tracer if trace else None)
     ctx = FwContext(env, cluster, mpi, grid, placement, config, nb,
                     tracer if trace else None)
+    if config.verify != "off":
+        from ..verify import ChecksummedBackend, VerifyRuntime
+
+        ctx.verify = VerifyRuntime(
+            config.verify, ctx.backend, semiring=semiring, seed=fault_seed
+        )
+        ctx.backend = ChecksummedBackend(ctx.verify)
     injector = None
     if plan is not None:
         injector = FaultInjector(plan, tracer if trace else None)
@@ -362,8 +389,11 @@ def apsp(
         if check_negative_cycles and semiring is MIN_PLUS:
             check_no_negative_cycle(dist)
     if validate:
+        # The oracle runs on the *unwrapped* kernel: same numerics,
+        # minus the checksumming (its temporaries are untracked anyway).
+        oracle_backend = ctx.verify.inner if ctx.verify is not None else ctx.backend
         oracle = blocked_fw(
-            w, b, semiring=semiring, check_negative_cycles=False, backend=ctx.backend
+            w, b, semiring=semiring, check_negative_cycles=False, backend=oracle_backend
         )
         if not np.allclose(dist, oracle, equal_nan=True):
             bad = int(np.sum(~np.isclose(dist, oracle, equal_nan=True)))
@@ -379,10 +409,22 @@ def apsp(
         tracer if trace else None,
     )
     report.block_size = b
+    verification = None
+    if ctx.verify is not None:
+        audit_dist = dist if config.verify == "full" and dist is not None else None
+        verification = ctx.verify.build_certificate(
+            audit_dist, w if audit_dist is not None else None
+        )
+        report.verification = verification
+        if not verification["passed"]:
+            raise VerificationError(
+                f"verification certificate failed: {verification}"
+            )
     return ApspResult(dist=dist if collect_result else None, report=report,
                       tracer=tracer if trace else None,
                       next_hops=next_hops if collect_result else None,
-                      fault_counters=dict(injector.counters) if injector is not None else None)
+                      fault_counters=dict(injector.counters) if injector is not None else None,
+                      verification=verification)
 
 
 def _run_with_recovery(
@@ -431,6 +473,8 @@ def _run_with_recovery(
     fired_crashes: set[int] = set()
     restarts = 0
     while True:
+        if ctx.verify is not None:
+            ctx.verify.begin_epoch()
         start_k = rt.start_k
         if restarts == 0:
             blocks_by_rank = locals_
@@ -467,6 +511,8 @@ def _run_with_recovery(
                 status[state.me] = ("timeout", exc)
             except GpuOutOfMemory as exc:
                 status[state.me] = ("oom", exc)
+            except SilentCorruptionError as exc:
+                status[state.me] = ("sdc", exc)
 
         procs = [env.process(supervised(state), name=f"rank{state.me}") for state in states]
 
@@ -511,7 +557,7 @@ def _run_with_recovery(
         failures = {r: st for r, st in status.items() if st[0] != "done"}
         if restarts > plan.max_restarts:
             for st in failures.values():
-                if isinstance(st[1], (CommTimeoutError, GpuOutOfMemory)):
+                if isinstance(st[1], (SilentCorruptionError, CommTimeoutError, GpuOutOfMemory)):
                     raise st[1]
             raise RankFailure(
                 f"world failed {restarts} times (restart budget {plan.max_restarts}); "
@@ -539,6 +585,8 @@ def _run_with_recovery(
         env.run()
 
         k0 = store.consistent_k(n_ranks)
+        if store.crc_rejections:
+            injector.counters["faults.crc_rejections"] = float(store.crc_rejections)
         if k0 is None:  # pragma: no cover - the k=0 snapshot always exists
             raise CheckpointError("no consistent checkpoint to restart from")
         progress = max((state.cur_k for state in states), default=-1)

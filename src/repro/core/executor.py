@@ -282,6 +282,14 @@ def _outer_tiles(
     cfg = ctx.config
     b = ctx.b
     semiring = ctx.semiring
+    vrt = ctx.verify
+    rt = ctx.faults
+    # Pending target=oog memflip for this (rank, k): corrupts the first
+    # tile's staged buffer between compute and apply, modeling an upset
+    # during the d2h transfer / host residence of the product.
+    oog_bits = 0
+    if rt is not None and rt.injector.plan.memory_faults:
+        oog_bits = rt.injector.take_oog_flip(state.me, k)
     row_chunks = _chunks(state.local_rows(exclude=(k, *skip_rows)), cfg.mx_blocks)
     col_chunks = _chunks(state.local_cols(exclude=(k, *skip_cols)), cfg.nx_blocks)
     tiles: list[TileTask] = []
@@ -299,13 +307,40 @@ def _outer_tiles(
                 x = semiring.zeros((a.shape[0], bmat.shape[1]), dtype=a.dtype)
                 return ctx.backend.srgemm_accumulate(x, a, bmat, semiring=semiring)
 
-            def apply(x, rows=rows, cols=cols):
-                for ri, i in enumerate(rows):
-                    for rj, j in enumerate(cols):
-                        blk = state.blocks[(i, j)]
-                        semiring.plus(
-                            blk, x[ri * b : (ri + 1) * b, rj * b : (rj + 1) * b], out=blk
-                        )
+            clean_compute = compute
+            if oog_bits:
+
+                def compute(base=clean_compute, bits=oog_bits):
+                    x = base()
+                    inj = ctx.faults.injector
+                    if inj.flip_entries(x, bits):
+                        inj.count("faults.oog_flips")
+                    return x
+
+                oog_bits = 0  # one upset per fault, on the first tile
+
+            if vrt is None:
+
+                def apply(x, rows=rows, cols=cols):
+                    for ri, i in enumerate(rows):
+                        for rj, j in enumerate(cols):
+                            blk = state.blocks[(i, j)]
+                            semiring.plus(
+                                blk, x[ri * b : (ri + 1) * b, rj * b : (rj + 1) * b], out=blk
+                            )
+
+            else:
+                # The clean compute closure is retained for localized
+                # repair: a corrupted staged tile is simply re-executed.
+
+                def apply(x, rows=rows, cols=cols, recompute=clean_compute):
+                    x = vrt.verify_staged(x, recompute=recompute)
+                    for ri, i in enumerate(rows):
+                        for rj, j in enumerate(cols):
+                            vrt.guarded_merge(
+                                state.blocks[(i, j)],
+                                x[ri * b : (ri + 1) * b, rj * b : (rj + 1) * b],
+                            )
 
             tiles.append(
                 TileTask(
@@ -501,6 +536,11 @@ class _IterEnv:
 
 def _op_checkpoint(state, residency, env, op):
     yield from checkpoint_hook(state, op.k)
+    vrt = state.ctx.verify
+    if vrt is not None:
+        # Top-of-iteration sampled monotonicity check (full mode); pure
+        # bookkeeping, no simulated events, so makespans are untouched.
+        vrt.sentinel_check(state.me, op.k)
 
 
 def _op_diag_update(state, residency, env, op):
@@ -592,8 +632,15 @@ def _lower(state: RankState, residency: ResidencyPolicy, env: _IterEnv, op: ir.S
     ``op:<Name>`` span when the op consumed simulated time."""
     ctx = state.ctx
     tracer = ctx.tracer
+    vrt = ctx.verify
     if tracer is None:
         yield from _HANDLERS[type(op)](state, residency, env, op)
+        if vrt is not None:
+            # Op boundary: surface any corruption the guarded kernels
+            # could not repair.  Raising here (inside the rank program)
+            # reaches the driver's supervisor; raising inside a kernel
+            # closure would fail the stream's event and abort the run.
+            vrt.raise_pending()
         return
     t0 = ctx.env.now
     yield from _HANDLERS[type(op)](state, residency, env, op)
@@ -602,6 +649,8 @@ def _lower(state: RankState, residency: ResidencyPolicy, env: _IterEnv, op: ir.S
         k = getattr(op, "k", None)
         label = op.opname if k is None else f"{op.opname}({k})"
         tracer.record(f"rank{state.me}", OP_CATEGORY_PREFIX + op.opname, label, t0, t1)
+    if vrt is not None:
+        vrt.raise_pending()
 
 
 def execute_schedule(
@@ -625,6 +674,11 @@ def execute_schedule(
         raise ConfigurationError(
             f"start_k must be in [0, {nb}] (nb blocks), got {start_k}"
         )
+    if state.ctx.verify is not None:
+        # (Re)anchor the ABFT guards on this rank's current block
+        # arrays: restarts restore fresh copies, and stale guards keyed
+        # by the dead arrays' ids must not linger.
+        state.ctx.verify.register_rank(state.me, state.blocks)
     return _execute(state, schedule, residency, start_k)
 
 
@@ -638,4 +692,7 @@ def _execute(state, schedule, residency, start_k):
         for op in schedule.iteration(k, nb):
             yield from _lower(state, residency, env, op)
     yield from state.drain()
+    vrt = state.ctx.verify
+    if vrt is not None:
+        vrt.raise_pending()
     return state.blocks

@@ -55,6 +55,9 @@ class PerfReport:
     messages: int
     gpu_peak_bytes: int
     counters: dict[str, float] = field(default_factory=dict)
+    #: ABFT verification certificate (:mod:`repro.verify`), present only
+    #: when the run was verified (``verify != "off"``).
+    verification: Optional[dict] = None
 
     # -- derived metrics ----------------------------------------------------
     @property
@@ -113,6 +116,24 @@ class PerfReport:
             f"messages = {self.messages}",
             f"GPU peak HBM = {self.gpu_peak_bytes / 1e9:.2f} GB",
         ]
+        cert = self.verification
+        if cert is not None:
+            verdict = "PASSED" if cert.get("passed") else "FAILED"
+            lines.append(
+                f"verification[{cert.get('mode')}] = {verdict}   "
+                f"ops checked = {cert.get('ops_checked', 0)}   "
+                f"sdc detected = {cert.get('sdc_detected', 0)} "
+                f"(repaired {cert.get('repaired', 0)}, "
+                f"escalated {cert.get('escalated', 0)})"
+            )
+            audit = cert.get("audit")
+            if audit is not None:
+                lines.append(
+                    f"residual audit: {audit['triangle_violations']} violations in "
+                    f"{audit['triangle_samples']} triangle samples, "
+                    f"{audit['sssp_mismatches']} mismatches over "
+                    f"{audit['sssp_sources']} SSSP sources"
+                )
         return "\n".join(lines)
 
     @classmethod

@@ -1,4 +1,24 @@
-"""Exception hierarchy for the :mod:`repro` package."""
+"""Exception hierarchy for the :mod:`repro` package.
+
+Each class maps to a stable CLI exit code (``repro.cli._exit_code_for``)
+so scripts and the CI matrices can tell *why* a run failed:
+
+=========================  ====
+class                      code
+=========================  ====
+ReproError (other)            1
+ConfigurationError            2
+ValidationError               3
+NegativeCycleError            4
+GpuOutOfMemory                5
+BackendUnavailableError       6
+CommTimeoutError              7
+RankFailure                   8
+CheckpointError               9
+SilentCorruptionError        10
+VerificationError            11
+=========================  ====
+"""
 
 from __future__ import annotations
 
@@ -12,6 +32,8 @@ __all__ = [
     "CommTimeoutError",
     "RankFailure",
     "CheckpointError",
+    "SilentCorruptionError",
+    "VerificationError",
 ]
 
 
@@ -114,5 +136,34 @@ class RankFailure(ReproError, RuntimeError):
 
 class CheckpointError(ReproError, RuntimeError):
     """The checkpoint/restart machinery could not recover a run
-    (no consistent checkpoint exists, or the restart budget is
-    exhausted)."""
+    (no consistent checkpoint exists, the restart budget is
+    exhausted, or a snapshot failed its CRC32 integrity check)."""
+
+
+class SilentCorruptionError(ReproError, RuntimeError):
+    """The ABFT layer detected silent data corruption it could not
+    repair in place (see :mod:`repro.verify`).
+
+    Raised at the next op boundary of the detecting rank program.  On
+    fault-armed runs the recovery loop treats it like a rank failure
+    and restarts from the newest uncorrupted consistent checkpoint;
+    without one it propagates out of the driver.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: "int | None" = None,
+        block: "tuple[int, int] | None" = None,
+        op: "str | None" = None,
+    ):
+        self.rank = rank
+        self.block = block
+        self.op = op
+        super().__init__(message)
+
+
+class VerificationError(ValidationError):
+    """The run's verification certificate failed: the completed result
+    did not pass the residual audit (sampled triangle-inequality /
+    reference-SSSP checks), so it must not be served."""

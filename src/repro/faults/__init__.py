@@ -3,7 +3,8 @@
 The package turns failure into a *reproducible input*: a seeded
 :class:`FaultPlan` describes what goes wrong (message drops,
 duplications, payload corruption, NIC degradation windows, compute
-stragglers, rank crashes, mid-solve OOM) and the recovery policy
+stragglers, rank crashes, mid-solve OOM, silent memory bit-flips for
+the ABFT layer in :mod:`repro.verify`) and the recovery policy
 (receive timeouts with bounded retry, checkpoint interval, restart
 budget, OOM degradation); a :class:`FaultInjector` applies it inside
 the transport and machine layers; :class:`CheckpointStore` +
@@ -19,6 +20,7 @@ from .plan import (
     FAULT_PLAN_ENV,
     ComputeStraggler,
     FaultPlan,
+    MemoryFault,
     MessageFault,
     NicWindow,
     OomFault,
@@ -33,6 +35,7 @@ __all__ = [
     "ComputeStraggler",
     "RankCrash",
     "OomFault",
+    "MemoryFault",
     "resolve_fault_plan",
     "FAULT_PLAN_ENV",
     "FaultInjector",

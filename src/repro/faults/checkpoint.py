@@ -14,10 +14,18 @@ Snapshots live in a (simulated) host-side store.  Saving charges
 DRAM-bandwidth time via
 :meth:`CostModel.checkpoint_time <repro.machine.cost.CostModel.checkpoint_time>`;
 restoring charges the same read cost in the driver's recovery loop.
+
+Integrity: every saved block carries a CRC32 (the same primitive the
+transport layer uses for message payloads).  :meth:`CheckpointStore.restore`
+refuses to hand out a snapshot whose bytes no longer match, and
+:meth:`CheckpointStore.consistent_k` skips corrupted epochs entirely, so
+a restart falls back to the newest *uncorrupted* consistent cut instead
+of silently restoring garbage.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import CheckpointError, GpuOutOfMemory
@@ -36,6 +44,19 @@ class CheckpointStore:
         #: k -> rank -> {(i, j): array copy}
         self._blocks: dict[int, dict[int, "LocalBlocks"]] = {}
         self._nxt: dict[int, dict[int, "LocalBlocks"]] = {}
+        #: k -> rank -> {(i, j): crc32 at save time}, one dict per store.
+        self._crc: dict[int, dict[int, dict]] = {}
+        self._crc_nxt: dict[int, dict[int, dict]] = {}
+        #: How many snapshots failed their CRC when consulted (restore
+        #: or consistency scan) - observability for corrupted-epoch
+        #: fallbacks.
+        self.crc_rejections: int = 0
+
+    @staticmethod
+    def _crc32(arr) -> int:
+        # tobytes() serializes in C order regardless of layout, so the
+        # checksum is layout-independent and cheap to recompute.
+        return zlib.crc32(arr.tobytes())
 
     def save(
         self,
@@ -44,31 +65,73 @@ class CheckpointStore:
         blocks: "LocalBlocks",
         nxt: Optional["LocalBlocks"] = None,
     ) -> None:
-        self._blocks.setdefault(k, {})[rank] = {key: b.copy() for key, b in blocks.items()}
+        snap = {key: b.copy() for key, b in blocks.items()}
+        self._blocks.setdefault(k, {})[rank] = snap
+        self._crc.setdefault(k, {})[rank] = {key: self._crc32(b) for key, b in snap.items()}
         if nxt is not None:
-            self._nxt.setdefault(k, {})[rank] = {key: b.copy() for key, b in nxt.items()}
+            nsnap = {key: b.copy() for key, b in nxt.items()}
+            self._nxt.setdefault(k, {})[rank] = nsnap
+            self._crc_nxt.setdefault(k, {})[rank] = {
+                key: self._crc32(b) for key, b in nsnap.items()
+            }
 
     def checkpoints(self) -> list[int]:
         return sorted(self._blocks)
 
+    def _corrupted_key(self, k: int, rank: int):
+        """The first block key whose stored bytes no longer match their
+        save-time CRC32, or None when the snapshot is intact."""
+        crcs = self._crc.get(k, {}).get(rank, {})
+        for key, snap in self._blocks[k][rank].items():
+            if self._crc32(snap) != crcs.get(key):
+                return key
+        ncrcs = self._crc_nxt.get(k, {}).get(rank)
+        if ncrcs is not None:
+            for key, snap in self._nxt[k][rank].items():
+                if self._crc32(snap) != ncrcs.get(key):
+                    return key
+        return None
+
     def consistent_k(self, world_size: int) -> Optional[int]:
-        """The newest iteration every rank has a snapshot for, or None.
+        """The newest iteration every rank has an *uncorrupted* snapshot
+        for, or None.
 
         A crash can strike while some ranks have checkpointed iteration
         k and others have not; only a cut *all* ranks crossed is a
-        legal restart point."""
-        consistent = [k for k, by_rank in self._blocks.items() if len(by_rank) == world_size]
-        return max(consistent) if consistent else None
+        legal restart point.  Epochs containing any CRC-mismatched
+        snapshot are skipped the same way - restoring them would replay
+        from garbage."""
+        best: Optional[int] = None
+        for k in sorted(self._blocks, reverse=True):
+            by_rank = self._blocks[k]
+            if len(by_rank) != world_size:
+                continue
+            bad = next((r for r in by_rank if self._corrupted_key(k, r) is not None), None)
+            if bad is not None:
+                self.crc_rejections += 1
+                continue
+            best = k
+            break
+        return best
 
     def restore(self, k: int, rank: int) -> "LocalBlocks":
         """A fresh deep copy of ``rank``'s snapshot at iteration ``k``
-        (the store's own copy stays pristine for further restarts)."""
+        (the store's own copy stays pristine for further restarts).
+        Raises :class:`CheckpointError` when the snapshot is missing or
+        fails its CRC32 integrity check."""
         try:
             snap = self._blocks[k][rank]
         except KeyError:
             raise CheckpointError(
                 f"no checkpoint for rank {rank} at iteration {k}"
             ) from None
+        bad = self._corrupted_key(k, rank)
+        if bad is not None:
+            self.crc_rejections += 1
+            raise CheckpointError(
+                f"checkpoint for rank {rank} at iteration {k} is corrupted "
+                f"(CRC32 mismatch on block {bad})"
+            )
         return {key: b.copy() for key, b in snap.items()}
 
     def restore_nxt(self, k: int, rank: int) -> Optional["LocalBlocks"]:
@@ -89,7 +152,10 @@ def checkpoint_hook(state: "RankState", k: int):
     2. fires any injected :class:`~repro.faults.plan.OomFault` for this
        (rank, k) as a :class:`~repro.errors.GpuOutOfMemory`;
     3. every ``checkpoint_interval`` iterations, charges the DRAM write
-       time and snapshots the rank's owned blocks into the store.
+       time and snapshots the rank's owned blocks into the store;
+    4. fires any :class:`~repro.faults.plan.MemoryFault` due at this
+       (rank, k) - *after* the save, so snapshots capture pristine state
+       and the upset models rot that happened since.
     """
     rt = state.ctx.faults
     if rt is None:
@@ -103,22 +169,30 @@ def checkpoint_hook(state: "RankState", k: int):
             max(1, int(state.hbm_charged)), 0, gpu.spec.hbm_bytes, device=gpu.name
         )
     interval = inj.plan.checkpoint_interval
-    if not interval:
-        return
-    if k == 0 or k % interval != 0 or rt.last_saved.get(state.me, -1) >= k:
-        return
-    ctx = state.ctx
-    b = ctx.b
-    rows = len(state.local_rows())
-    cols = len(state.local_cols())
-    duration = ctx.cost.checkpoint_time(rows * b, cols * b)
-    if state.nxt is not None:
-        duration *= 3  # int64 pointer blocks cost 2x the distances
-    start = ctx.env.now
-    yield ctx.env.timeout(duration)
-    rt.store.save(k, state.me, state.blocks, state.nxt)
-    rt.last_saved[state.me] = k
-    inj.count("faults.checkpoints")
-    inj.count("faults.checkpoint_time", duration)
-    if ctx.tracer is not None:
-        ctx.tracer.record(f"rank{state.me}", "checkpoint", f"ckpt(k={k})", start, ctx.env.now)
+    due = (
+        bool(interval)
+        and k > 0
+        and k % interval == 0
+        and rt.last_saved.get(state.me, -1) < k
+    )
+    if due:
+        ctx = state.ctx
+        b = ctx.b
+        rows = len(state.local_rows())
+        cols = len(state.local_cols())
+        duration = ctx.cost.checkpoint_time(rows * b, cols * b)
+        if state.nxt is not None:
+            duration *= 3  # int64 pointer blocks cost 2x the distances
+        start = ctx.env.now
+        yield ctx.env.timeout(duration)
+        rt.store.save(k, state.me, state.blocks, state.nxt)
+        rt.last_saved[state.me] = k
+        inj.count("faults.checkpoints")
+        inj.count("faults.checkpoint_time", duration)
+        if ctx.tracer is not None:
+            ctx.tracer.record(
+                f"rank{state.me}", "checkpoint", f"ckpt(k={k})", start, ctx.env.now
+            )
+    if inj.plan.memory_faults:
+        inj.fire_checkpoint_flips(rt.store, state.me, k)
+        inj.fire_block_flips(state, k)

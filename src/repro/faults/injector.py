@@ -77,6 +77,9 @@ class FaultInjector:
         #: dst -> {(src, tag): pristine Message} for retransmission.
         self._retained: dict[int, dict[tuple[int, int], "Message"]] = defaultdict(dict)
         self._oom_fired: set[tuple[int, int]] = set()
+        #: Indices into plan.memory_faults that already fired (memflips
+        #: are one-shot, like OOMs: replay after a restart stays clean).
+        self._mem_fired: set[int] = set()
         self._straggler = {s.rank: s.factor for s in plan.stragglers}
 
     def attach(self, mpi: "SimMPI") -> None:
@@ -232,6 +235,80 @@ class FaultInjector:
 
     def compute_factor(self, rank: int) -> float:
         return self._straggler.get(rank, 1.0)
+
+    # -- silent-data-corruption faults ----------------------------------------
+    def flip_entries(self, arr: np.ndarray, bits: int) -> int:
+        """Flip the IEEE sign bit of up to ``bits`` seeded entries of
+        ``arr`` *in place* and return how many flipped.
+
+        Entries are chosen among the strictly positive finite values
+        (falling back to any finite value): on non-negative distances a
+        sign-bit upset drops the entry below every row/col minimum, the
+        worst case for the result and the one the min-checksums provably
+        detect.  ``0.0`` and ``inf`` are excluded because their sign
+        flips are invisible to (min,+) comparisons or invalid weights.
+        """
+        values = arr.ravel()  # read-only scan; writes go through arr itself
+        cand = np.flatnonzero(np.isfinite(values) & (values > 0))
+        if cand.size == 0:
+            cand = np.flatnonzero(np.isfinite(values) & (values != 0))
+        if cand.size == 0:
+            return 0
+        idx = self.rng.choice(cand, size=min(bits, cand.size), replace=False)
+        multi = np.unravel_index(idx, arr.shape)
+        arr[multi] = -arr[multi]
+        return int(idx.size)
+
+    def _take_memory_faults(self, rank: int, k: int, target: str) -> list:
+        """Matching not-yet-fired memflips for (rank, k, target); marks
+        them fired."""
+        hits = []
+        for idx, f in enumerate(self.plan.memory_faults):
+            if f.rank == rank and f.k == k and f.target == target and idx not in self._mem_fired:
+                self._mem_fired.add(idx)
+                hits.append(f)
+        return hits
+
+    def fire_block_flips(self, state, k: int) -> None:
+        """``target=block`` memflips: silently corrupt a resident
+        distance block at the top of iteration ``k``.  Fired *after* any
+        checkpoint save of the same iteration, so snapshots stay
+        pristine and restart replay is bit-exact."""
+        for f in self._take_memory_faults(state.me, k, "block"):
+            if f.block is not None:
+                if f.block not in state.blocks:
+                    self.count("faults.memflips_missed")
+                    continue
+                key = f.block
+            else:
+                keys = sorted(state.blocks)
+                key = keys[int(self.rng.integers(len(keys)))]
+            if self.flip_entries(state.blocks[key], f.bits):
+                self.count("faults.block_flips")
+
+    def fire_checkpoint_flips(self, store: "CheckpointStore", rank: int, k: int) -> None:
+        """``target=checkpoint`` memflips: corrupt the newest stored
+        snapshot payload of ``rank`` in place, *without* refreshing its
+        CRC - exactly the rot the integrity layer must catch."""
+        for f in self._take_memory_faults(rank, k, "checkpoint"):
+            epochs = sorted(e for e, per_rank in store._blocks.items() if rank in per_rank and e <= k)
+            if not epochs:
+                self.count("faults.memflips_missed")
+                continue
+            snap = store._blocks[epochs[-1]][rank]
+            keys = sorted(snap)
+            key = keys[int(self.rng.integers(len(keys)))]
+            if self.flip_entries(snap[key], f.bits):
+                self.count("faults.ckpt_flips")
+
+    def take_oog_flip(self, rank: int, k: int) -> int:
+        """``target=oog`` memflips: bits to flip in the first staged
+        ooGSrGemm tile of (rank, k); 0 when none is pending.  Only the
+        host-resident variants consume these."""
+        bits = 0
+        for f in self._take_memory_faults(rank, k, "oog"):
+            bits = max(bits, f.bits)
+        return bits
 
     def should_oom(self, rank: int, k: int) -> bool:
         """True exactly once per (rank, k) OOM fault."""

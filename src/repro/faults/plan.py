@@ -25,6 +25,8 @@ nic        node, factor, t0, t1 (degradation window, seconds)
 straggler  rank, factor (compute-cost multiplier on that rank's GPU)
 crash      rank, at (hard rank loss at simulated time ``at``)
 oom        rank, k (GpuOutOfMemory injected at outer iteration k)
+memflip    rank, k, target (block|checkpoint|oog), bits, i, j
+           (silent in-place bit upsets; detected only by ``--verify``)
 policy     timeout, retries, backoff, ckpt, restarts, oom_degrade
 ========== ============================================================
 """
@@ -45,6 +47,7 @@ __all__ = [
     "ComputeStraggler",
     "RankCrash",
     "OomFault",
+    "MemoryFault",
     "FaultPlan",
     "resolve_fault_plan",
     "FAULT_PLAN_ENV",
@@ -142,6 +145,45 @@ class OomFault:
 
 
 @dataclass(frozen=True)
+class MemoryFault:
+    """Silently flip bits in resident data on ``rank`` when it reaches
+    outer iteration ``k`` - the SDC model the ABFT layer
+    (:mod:`repro.verify`) exists to catch.
+
+    ``target`` picks the corruption site:
+
+    * ``"block"`` - a resident distance block (the seeded choice among
+      the rank's blocks, or block ``(i, j)`` when given);
+    * ``"checkpoint"`` - the newest stored snapshot payload for the
+      rank (caught by the CRC32 layer on restore);
+    * ``"oog"`` - a staged ooGSrGemm product tile between compute and
+      apply (offload variants only; silently ignored elsewhere).
+
+    ``bits`` entries get their IEEE sign bit flipped - seeded choices
+    among the strictly positive finite entries, the upset the
+    min-checksums provably catch on non-negative distances (an upward
+    flip of a non-extremal entry is only caught by the sentinel).
+    Injection is independent of ``--verify``: with verification off the
+    run completes silently wrong, which is how detection coverage is
+    measured.
+    """
+
+    rank: int
+    k: int
+    target: str = "block"
+    bits: int = 1
+    block: Optional[tuple[int, int]] = None
+
+    def __post_init__(self):
+        if self.target not in ("block", "checkpoint", "oog"):
+            raise ConfigurationError(f"unknown memflip target {self.target!r}")
+        if self.bits < 1:
+            raise ConfigurationError(f"memflip bits must be >= 1, got {self.bits}")
+        if self.block is not None and self.target != "block":
+            raise ConfigurationError("memflip i=/j= only apply to target=block")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """All injected faults of one run, plus the recovery policy.
 
@@ -154,6 +196,7 @@ class FaultPlan:
     stragglers: tuple[ComputeStraggler, ...] = ()
     crashes: tuple[RankCrash, ...] = ()
     ooms: tuple[OomFault, ...] = ()
+    memory_faults: tuple[MemoryFault, ...] = ()
     #: Seeds probabilistic selection and corruption patterns.
     seed: int = 0
 
@@ -198,6 +241,7 @@ class FaultPlan:
             or self.stragglers
             or self.crashes
             or self.ooms
+            or self.memory_faults
             or self.recv_timeout is not None
             or self.checkpoint_interval
         )
@@ -214,6 +258,7 @@ class FaultPlan:
         stragglers: list[ComputeStraggler] = []
         crashes: list[RankCrash] = []
         ooms: list[OomFault] = []
+        memflips: list[MemoryFault] = []
         policy: dict[str, Any] = {}
         for spec in specs:
             kind, _, body = spec.partition(":")
@@ -230,6 +275,18 @@ class FaultPlan:
                     crashes.append(RankCrash(**_pick(kv, spec, "rank", "at", required=("rank", "at"))))
                 elif kind == "oom":
                     ooms.append(OomFault(**_pick(kv, spec, "rank", "k", required=("rank", "k"))))
+                elif kind == "memflip":
+                    picked = _pick(
+                        kv, spec, "rank", "k", "target", "bits", "i", "j", required=("rank", "k")
+                    )
+                    i, j = picked.pop("i", None), picked.pop("j", None)
+                    if (i is None) != (j is None):
+                        raise ConfigurationError(
+                            f"memflip spec {spec!r} needs both i= and j= or neither"
+                        )
+                    if i is not None:
+                        picked["block"] = (i, j)
+                    memflips.append(MemoryFault(**picked))
                 elif kind == "policy":
                     rename = {
                         "timeout": "recv_timeout",
@@ -253,6 +310,7 @@ class FaultPlan:
             stragglers=tuple(stragglers),
             crashes=tuple(crashes),
             ooms=tuple(ooms),
+            memory_faults=tuple(memflips),
             seed=seed,
             **policy,
         )
@@ -290,6 +348,10 @@ class FaultPlan:
         kwargs["stragglers"] = tuple(ComputeStraggler(**s) for s in raw.get("stragglers", ()))
         kwargs["crashes"] = tuple(RankCrash(**c) for c in raw.get("crashes", ()))
         kwargs["ooms"] = tuple(OomFault(**o) for o in raw.get("ooms", ()))
+        kwargs["memory_faults"] = tuple(
+            MemoryFault(**{**m, "block": tuple(m["block"]) if m.get("block") else None})
+            for m in raw.get("memory_faults", ())
+        )
         return cls(**kwargs)
 
 

@@ -1,0 +1,28 @@
+"""Algorithm-based fault tolerance (ABFT) for the tropical solver.
+
+Three cooperating pieces (see docs/FAULTS.md for the math and the
+escalation ladder):
+
+- :mod:`repro.verify.checksums` — exact ``⊕``-checksum algebra for
+  SrGemm ops on comparison-``⊕`` semirings;
+- :mod:`repro.verify.runtime` — per-run verification state: tracked
+  blocks, guarded kernels, localized repair, the monotonicity
+  sentinel, deferred escalation, and the verification certificate;
+- :mod:`repro.verify.backend` — the :class:`ChecksummedBackend`
+  decorator that gives all schedule-IR variants checksummed kernels
+  through the single ``ctx.backend`` seam.
+"""
+
+from .backend import ChecksummedBackend
+from .checksums import block_checksums, checksums_match, predicted_accumulate, predicted_merge
+from .runtime import VERIFY_MODES, VerifyRuntime
+
+__all__ = [
+    "VERIFY_MODES",
+    "VerifyRuntime",
+    "ChecksummedBackend",
+    "block_checksums",
+    "checksums_match",
+    "predicted_accumulate",
+    "predicted_merge",
+]

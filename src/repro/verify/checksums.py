@@ -1,0 +1,102 @@
+"""Tropical checksum algebra for algorithm-based fault tolerance.
+
+For the comparison-``⊕`` semirings in :mod:`repro.semiring.minplus`
+(``⊕`` idempotent selection, ``⊗`` monotone in each argument),
+``⊕``-reductions distribute over the SrGemm outer product *exactly*,
+bit for bit, in IEEE arithmetic:
+
+    rowsum(C ⊕ A⊗B)[i] = rowsum(C)[i] ⊕ (⊕_k  A[i,k] ⊗ rowsum(B)[k])
+    colsum(C ⊕ A⊗B)[j] = colsum(C)[j] ⊕ (⊕_k  colsum(A)[k] ⊗ B[k,j])
+
+``⊕`` never rounds (it selects one of its operands) and ``⊗`` by a
+constant is monotone under round-to-nearest, so the ``⊕``-minimiser of
+``a ⊗ B[k, :]`` is literally ``a ⊗ (⊕_j B[k, j])`` — the same float,
+not an approximation.  A predicted checksum that disagrees with the
+recomputed one is therefore *proof* of corruption, never rounding
+noise, and comparisons can use exact equality.
+
+Backends with a reduced-precision compute path (``tiled-f32``) cast
+the operands — never ``C`` — before forming product terms, then
+accumulate at full width.  Predictions replicate that pipeline via the
+``compute_dtype`` argument: operands are cast exactly as the backend
+casts them, reduced at compute width, and only then ``⊕``-combined
+with the full-width pre-checksums (the f32→f64 upcast is exact).
+
+Detection limit: a min-checksum only sees a row/column's *extremal*
+entry.  An upward flip of a non-extremal entry leaves every checksum
+unchanged; that gap is covered probabilistically by the monotonicity
+sentinel in :mod:`repro.verify.runtime` (distances never increase
+across FW iterations) and, at the end of the run, by the certificate's
+sampled residual audit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..semiring.minplus import Semiring
+
+__all__ = [
+    "block_checksums",
+    "checksums_match",
+    "predicted_accumulate",
+    "predicted_merge",
+]
+
+Checksums = Tuple[np.ndarray, np.ndarray]
+
+
+def block_checksums(blk: np.ndarray, semiring: Semiring) -> Checksums:
+    """``(row, col)`` ``⊕``-checksums of a block: ``row[i] = ⊕_j blk[i,j]``
+    and ``col[j] = ⊕_i blk[i,j]``."""
+    return (
+        semiring.plus_reduce(blk, axis=1),
+        semiring.plus_reduce(blk, axis=0),
+    )
+
+
+def checksums_match(expected: Checksums, actual: Checksums) -> bool:
+    """Exact (bitwise-value) comparison; any disagreement is corruption,
+    never rounding (see module docs).  Weights are validated NaN-free at
+    load, so ``array_equal``'s NaN semantics never trigger."""
+    return np.array_equal(expected[0], actual[0]) and np.array_equal(expected[1], actual[1])
+
+
+def _cast(arr: np.ndarray, compute_dtype: Optional[np.dtype]) -> np.ndarray:
+    # Mirror of TiledBackend._cast: only float operands are narrowed.
+    if compute_dtype is None:
+        return arr
+    dt = np.dtype(compute_dtype)
+    if arr.dtype.kind == "f" and arr.dtype != dt:
+        return arr.astype(dt)
+    return arr
+
+
+def predicted_accumulate(
+    pre: Checksums,
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring,
+    compute_dtype: Optional[np.dtype] = None,
+) -> Checksums:
+    """Checksums of ``C ⊕ A ⊗ B`` given ``C``'s pre-op checksums, without
+    forming the product: O(mk + kn + max(mk, kn)) instead of O(mnk)."""
+    pre_row, pre_col = pre
+    if a.shape[1] == 0:
+        return pre_row.copy(), pre_col.copy()
+    a_c = _cast(a, compute_dtype)
+    b_c = _cast(b, compute_dtype)
+    r_b = semiring.plus_reduce(b_c, axis=1)  # (k,)
+    prod_row = semiring.plus_reduce(semiring.times(a_c, r_b[None, :]), axis=1)  # (m,)
+    c_a = semiring.plus_reduce(a_c, axis=0)  # (k,)
+    prod_col = semiring.plus_reduce(semiring.times(c_a[:, None], b_c), axis=0)  # (n,)
+    return semiring.plus(pre_row, prod_row), semiring.plus(pre_col, prod_col)
+
+
+def predicted_merge(pre: Checksums, x: np.ndarray, semiring: Semiring) -> Checksums:
+    """Checksums of ``C ⊕ X`` for an elementwise merge (the ooGSrGemm
+    apply step): reductions distribute over elementwise ``⊕``."""
+    x_row, x_col = block_checksums(x, semiring)
+    return semiring.plus(pre[0], x_row), semiring.plus(pre[1], x_col)

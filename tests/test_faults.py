@@ -342,6 +342,50 @@ class TestCheckpointRestart:
         with pytest.raises(CheckpointError):
             CheckpointStore().restore(2, 0)
 
+    def test_store_corrupted_checkpoint_rejected(self):
+        """In-place rot of a stored snapshot trips the save-time CRC32:
+        restore refuses it instead of handing out garbage."""
+        from repro.errors import CheckpointError
+
+        store = CheckpointStore()
+        store.save(2, 0, {(0, 0): np.full((2, 2), 3.0)})
+        store._blocks[2][0][(0, 0)][1, 1] = -3.0  # silent bit-flip at rest
+        with pytest.raises(CheckpointError, match="CRC32"):
+            store.restore(2, 0)
+        assert store.crc_rejections >= 1
+
+    def test_consistent_k_skips_corrupted_epoch(self):
+        """A corrupted epoch is treated like an incomplete one: the
+        consistency scan falls back to the newest clean cut."""
+        store = CheckpointStore()
+        blocks = {(0, 0): np.eye(2)}
+        for k in (0, 4):
+            store.save(k, 0, blocks)
+            store.save(k, 1, blocks)
+        assert store.consistent_k(2) == 4
+        store._blocks[4][1][(0, 0)][0, 0] = 7.0  # corrupt rank 1's newest
+        assert store.consistent_k(2) == 0
+        assert store.crc_rejections >= 1
+
+    def test_checkpoint_flip_falls_back_to_older_epoch(self, w48, oracle):
+        """End-to-end: a memflip targeting the checkpoint store corrupts
+        the newest snapshot; a later crash then restarts from the older
+        clean epoch and still lands bit-exact."""
+        r = run(
+            w48,
+            "baseline",
+            fault_plan=[
+                "memflip:rank=0,k=4,target=checkpoint",
+                "crash:rank=1,at=2.4e-4",
+                "policy:ckpt=2",
+            ],
+        )
+        c = r.fault_counters
+        assert c["faults.ckpt_flips"] >= 1
+        assert c["faults.crc_rejections"] >= 1
+        assert c["faults.restarts"] == 1
+        assert np.array_equal(r.dist, oracle["baseline"])
+
     def test_crash_recovers_from_checkpoint(self, w48, oracle):
         r = run(w48, "baseline", fault_plan=["crash:rank=1,at=1.5e-4", "policy:timeout=5e-4,ckpt=2"])
         c = r.fault_counters

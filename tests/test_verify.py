@@ -1,0 +1,416 @@
+"""Tests for the ABFT verification layer (:mod:`repro.verify`).
+
+Covers: the (min,+) checksum algebra (bit-exact prediction against
+brute-force recomputation, including infinities and narrowed compute
+dtypes), configuration gating, memflip fault specs, the
+zero-false-positive contract on clean runs (with makespans pinned
+bit-exactly against the pre-feature recordings for *every* verify
+mode), the SDC detection matrix (seeded bit-flips on resident blocks
+across variants, modes, and seeds - each detected and either repaired
+in place or escalated to checkpoint/restart, final distances bit-exact
+against the fault-free oracle), localized repair of corrupted ooG
+staging buffers, the monotonicity sentinel, certificate determinism,
+and the CLI exit codes for the two new error classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import _exit_code_for
+from repro.core import apsp
+from repro.errors import (
+    ConfigurationError,
+    SilentCorruptionError,
+    ValidationError,
+    VerificationError,
+)
+from repro.faults import FaultPlan, MemoryFault
+from repro.graphs import uniform_random_dense
+from repro.semiring import MIN_PLUS, PLUS_TIMES
+from repro.semiring.backends import get_backend
+from repro.verify import (
+    VerifyRuntime,
+    block_checksums,
+    checksums_match,
+    predicted_accumulate,
+    predicted_merge,
+)
+
+#: Same shared workload as test_faults: 48 vertices, b=8, 4 ranks on 2
+#: nodes.
+N, B, NODES, RPN = 48, 8, 2, 2
+
+#: The pre-fault-framework makespans (see test_faults).  Verification
+#: runs inside existing kernel closures and adds no simulated events,
+#: so *every* verify mode - including off - must reproduce these
+#: bit-for-bit.
+PRE_FAULT_MAKESPANS = {
+    "baseline": 0.00032133007058823555,
+    "pipelined": 0.0003952467576470589,
+    "async": 0.0003952467576470589,
+    "offload": 0.0004660122352941178,
+}
+
+
+def run(w, variant, **kw):
+    return apsp(w, variant=variant, block_size=B, n_nodes=NODES, ranks_per_node=RPN, **kw)
+
+
+@pytest.fixture(scope="module")
+def w48():
+    return uniform_random_dense(N, seed=3)
+
+
+@pytest.fixture(scope="module")
+def oracle(w48):
+    return run(w48, "baseline").dist
+
+
+# ---------------------------------------------------------------------------
+# Checksum algebra
+# ---------------------------------------------------------------------------
+class TestChecksumAlgebra:
+    """rowsum(C (+) A (x) B) must equal the *predicted* checksums
+    bit-for-bit - (+) is min (exact selection), so the distributive law
+    holds in IEEE floats, not just in exact arithmetic."""
+
+    @staticmethod
+    def _rand(rng, shape, inf_frac=0.0):
+        a = rng.uniform(0.5, 9.0, size=shape)
+        if inf_frac:
+            a[rng.random(shape) < inf_frac] = np.inf
+        return a
+
+    @pytest.mark.parametrize("inf_frac", [0.0, 0.3], ids=["finite", "with-inf"])
+    def test_accumulate_prediction_bit_exact(self, inf_frac):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            c = self._rand(rng, (8, 8), inf_frac)
+            a = self._rand(rng, (8, 8), inf_frac)
+            b = self._rand(rng, (8, 8), inf_frac)
+            pre = block_checksums(c, MIN_PLUS)
+            predicted = predicted_accumulate(pre, a, b, MIN_PLUS)
+            get_backend("reference").srgemm_accumulate(c, a, b, MIN_PLUS)
+            assert checksums_match(predicted, block_checksums(c, MIN_PLUS))
+
+    def test_prediction_catches_any_downward_flip(self):
+        """A sign flip of a positive entry lowers a row *and* column
+        minimum, so it always breaks both checksums."""
+        rng = np.random.default_rng(12)
+        c = self._rand(rng, (6, 6))
+        a = self._rand(rng, (6, 6))
+        b = self._rand(rng, (6, 6))
+        pre = block_checksums(c, MIN_PLUS)
+        predicted = predicted_accumulate(pre, a, b, MIN_PLUS)
+        get_backend("reference").srgemm_accumulate(c, a, b, MIN_PLUS)
+        for i in range(6):
+            for j in range(6):
+                saved = c[i, j]
+                c[i, j] = -saved
+                assert not checksums_match(predicted, block_checksums(c, MIN_PLUS))
+                c[i, j] = saved
+        assert checksums_match(predicted, block_checksums(c, MIN_PLUS))
+
+    def test_f32_compute_dtype_prediction_matches_tiled_backend(self):
+        """Predictions must replicate the narrowed-operand rounding of
+        tiled-f32 (operands cast to f32, accumulation in the C dtype) -
+        otherwise every op under that backend is a false positive."""
+        backend = get_backend("tiled-f32")
+        rng = np.random.default_rng(13)
+        c = rng.uniform(0.5, 9.0, size=(16, 16))
+        a = rng.uniform(0.5, 9.0, size=(16, 16))
+        b = rng.uniform(0.5, 9.0, size=(16, 16))
+        pre = block_checksums(c, MIN_PLUS)
+        predicted = predicted_accumulate(
+            pre, a, b, MIN_PLUS, compute_dtype=backend.compute_dtype
+        )
+        backend.srgemm_accumulate(c, a, b, MIN_PLUS)
+        assert checksums_match(predicted, block_checksums(c, MIN_PLUS))
+
+    def test_merge_prediction_bit_exact(self):
+        rng = np.random.default_rng(14)
+        blk = rng.uniform(0.5, 9.0, size=(8, 8))
+        x = rng.uniform(0.5, 9.0, size=(8, 8))
+        predicted = predicted_merge(block_checksums(blk, MIN_PLUS), x, MIN_PLUS)
+        MIN_PLUS.plus(blk, x, out=blk)
+        assert checksums_match(predicted, block_checksums(blk, MIN_PLUS))
+
+    def test_empty_k_prediction_is_identity(self):
+        rng = np.random.default_rng(15)
+        c = rng.uniform(0.5, 9.0, size=(4, 4))
+        pre = block_checksums(c, MIN_PLUS)
+        predicted = predicted_accumulate(
+            pre, np.empty((4, 0)), np.empty((0, 4)), MIN_PLUS
+        )
+        assert checksums_match(predicted, pre)
+
+
+# ---------------------------------------------------------------------------
+# Configuration gating and fault specs
+# ---------------------------------------------------------------------------
+class TestConfiguration:
+    def test_bad_mode_rejected(self, w48):
+        with pytest.raises(ConfigurationError, match="verify"):
+            run(w48, "baseline", verify="paranoid")
+
+    def test_requires_numerics(self, w48):
+        with pytest.raises(ConfigurationError, match="compute_numerics"):
+            run(w48, "baseline", verify="checksum", compute_numerics=False)
+
+    def test_requires_idempotent_plus(self, w48):
+        with pytest.raises(ConfigurationError, match="idempotent"):
+            run(w48, "baseline", verify="checksum", semiring=PLUS_TIMES,
+                check_negative_cycles=False)
+
+    def test_memflip_spec_grammar(self):
+        plan = FaultPlan.from_specs(
+            ["memflip:rank=1,k=3", "memflip:rank=0,k=2,target=oog,bits=2",
+             "memflip:rank=0,k=4,target=checkpoint", "memflip:rank=2,k=1,i=0,j=3"]
+        )
+        assert plan.memory_faults == (
+            MemoryFault(1, 3),
+            MemoryFault(0, 2, target="oog", bits=2),
+            MemoryFault(0, 4, target="checkpoint"),
+            MemoryFault(2, 1, block=(0, 3)),
+        )
+        assert plan.armed()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "memflip:rank=0",  # missing k
+            "memflip:rank=0,k=2,target=gpu",  # unknown target
+            "memflip:rank=0,k=2,bits=0",  # bits >= 1
+            "memflip:rank=0,k=2,i=1",  # i without j
+            "memflip:rank=0,k=2,target=oog,i=0,j=0",  # block only for target=block
+        ],
+    )
+    def test_bad_memflip_specs(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_specs([spec])
+
+    def test_memflip_json_round_trip(self):
+        plan = FaultPlan.from_specs(
+            ["memflip:rank=1,k=3,i=2,j=4", "memflip:rank=0,k=2,target=oog"]
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+# ---------------------------------------------------------------------------
+# Clean runs: zero false positives, zero cost
+# ---------------------------------------------------------------------------
+class TestCleanRuns:
+    @pytest.mark.parametrize("variant", list(PRE_FAULT_MAKESPANS))
+    @pytest.mark.parametrize("mode", ["off", "checksum", "full"])
+    def test_makespan_pinned_per_mode(self, w48, variant, mode):
+        """Verification adds no simulated events: every mode reproduces
+        the pre-feature makespan bit-for-bit."""
+        r = run(w48, variant, verify=mode)
+        assert r.report.elapsed == PRE_FAULT_MAKESPANS[variant]
+
+    @pytest.mark.parametrize("variant", ["baseline", "async", "offload"])
+    @pytest.mark.parametrize("mode", ["checksum", "full"])
+    def test_zero_false_positives(self, w48, oracle, variant, mode):
+        r = run(w48, variant, verify=mode, validate=True)
+        cert = r.verification
+        assert cert["passed"]
+        assert cert["sdc_detected"] == 0
+        assert cert["repaired"] == 0
+        assert cert["escalated"] == 0
+        assert cert["sentinel_violations"] == 0
+        assert cert["ops_checked"] > 0
+        if mode == "full":
+            assert cert["sentinel_samples"] > 0
+            assert cert["audit"]["triangle_violations"] == 0
+            assert cert["audit"]["sssp_mismatches"] == 0
+        else:
+            assert cert["sentinel_samples"] == 0
+            assert "audit" not in cert
+        assert np.array_equal(r.dist, oracle)
+        assert r.report.verification is cert
+        assert "PASSED" in r.report.summary()
+
+    def test_off_mode_has_no_certificate(self, w48):
+        r = run(w48, "baseline")
+        assert r.verification is None
+        assert r.report.verification is None
+
+
+# ---------------------------------------------------------------------------
+# SDC detection matrix
+# ---------------------------------------------------------------------------
+class TestDetectionMatrix:
+    """Every seeded resident-block bit-flip must be detected and the
+    final distances bit-exact against the fault-free oracle (repair in
+    place, or escalation to checkpoint/restart)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2], ids=lambda s: f"seed{s}")
+    @pytest.mark.parametrize("mode", ["checksum", "full"])
+    @pytest.mark.parametrize("variant", ["baseline", "async", "offload"])
+    def test_block_flip_detected_and_recovered(self, w48, oracle, variant, mode, seed):
+        r = run(
+            w48, variant, verify=mode,
+            fault_plan=["memflip:rank=0,k=2", "policy:ckpt=2"],
+            fault_seed=seed,
+        )
+        cert = r.verification
+        fc = r.fault_counters
+        assert fc.get("faults.block_flips", 0) >= 1
+        assert cert["sdc_detected"] >= 1
+        # A flipped resident block is caught by the *pre*-check of the
+        # next guarded op; its operands are suspect, so the runtime
+        # escalates to checkpoint/restart rather than repairing.
+        assert cert["escalated"] + cert["repaired"] >= 1
+        if cert["escalated"]:
+            assert fc.get("faults.restarts", 0) >= 1
+        assert cert["passed"]
+        assert np.array_equal(r.dist, oracle)
+
+    def test_unrepairable_without_checkpoints_raises(self, w48):
+        """Escalation with no restart path must surface as
+        SilentCorruptionError, never a silently wrong answer."""
+        with pytest.raises(SilentCorruptionError):
+            run(w48, "baseline", verify="checksum",
+                fault_plan=["memflip:rank=0,k=2", "policy:restarts=0,ckpt=2"],
+                fault_seed=0)
+
+    def test_off_mode_misses_the_corruption(self, w48, oracle):
+        """Coverage measurement: the same flip with verify=off flows
+        into the result undetected."""
+        r = run(
+            w48, "baseline", check_negative_cycles=False,
+            fault_plan=["memflip:rank=0,k=2", "policy:ckpt=2"],
+            fault_seed=0,
+        )
+        assert r.fault_counters.get("faults.block_flips", 0) >= 1
+        assert not np.array_equal(r.dist, oracle)
+
+
+# ---------------------------------------------------------------------------
+# Localized repair: ooG staging buffers
+# ---------------------------------------------------------------------------
+class TestOogRepair:
+    def test_staged_tile_flip_repaired_in_place(self, w48, oracle):
+        r = run(
+            w48, "offload", verify="checksum",
+            fault_plan=["memflip:rank=0,k=2,target=oog"],
+            fault_seed=0,
+        )
+        cert = r.verification
+        fc = r.fault_counters
+        assert fc.get("faults.oog_flips", 0) >= 1
+        assert cert["sdc_detected"] >= 1
+        assert cert["repaired"] >= 1
+        assert cert["escalated"] == 0
+        assert not fc.get("faults.restarts")  # repaired locally, no restart
+        assert cert["passed"]
+        assert np.array_equal(r.dist, oracle)
+
+    @pytest.mark.parametrize("mode", ["checksum", "full"])
+    def test_oog_repair_bit_exact_across_modes(self, w48, oracle, mode):
+        r = run(
+            w48, "offload", verify=mode,
+            fault_plan=["memflip:rank=1,k=3,target=oog,bits=3"],
+            fault_seed=1,
+        )
+        assert r.verification["repaired"] >= 1
+        assert np.array_equal(r.dist, oracle)
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity sentinel
+# ---------------------------------------------------------------------------
+class TestSentinel:
+    """The sentinel covers what checksums cannot: an *upward* drift of
+    a non-extremal entry (masked in both min-reductions)."""
+
+    def _runtime(self, blocks):
+        vrt = VerifyRuntime("full", get_backend("reference"), semiring=MIN_PLUS, seed=5)
+        vrt.register_rank(0, blocks)
+        return vrt
+
+    def test_upward_drift_detected(self):
+        rng = np.random.default_rng(21)
+        blocks = {(0, 0): rng.uniform(1.0, 9.0, size=(8, 8))}
+        vrt = self._runtime(blocks)
+        vrt.sentinel_check(0, 0)  # baseline: clean
+        assert vrt.counters.get("sentinel_violations", 0) == 0
+        guard = next(iter(vrt._tiles.values()))
+        pos = int(guard.sent_pos[0])
+        blocks[(0, 0)].flat[pos] += 100.0  # distances never increase
+        vrt.sentinel_check(0, 1)
+        assert vrt.counters["sentinel_violations"] == 1
+        assert vrt.counters["sdc_detected"] == 1
+        with pytest.raises(SilentCorruptionError):
+            vrt.raise_pending()
+
+    def test_decrease_is_legal(self):
+        rng = np.random.default_rng(22)
+        blocks = {(0, 0): rng.uniform(1.0, 9.0, size=(8, 8))}
+        vrt = self._runtime(blocks)
+        vrt.sentinel_check(0, 0)
+        blocks[(0, 0)] *= 0.5  # relaxation only ever lowers distances
+        vrt.sentinel_check(0, 1)
+        assert vrt.counters.get("sentinel_violations", 0) == 0
+        vrt.raise_pending()  # no-op
+
+    def test_checksum_mode_samples_nothing(self):
+        vrt = VerifyRuntime("checksum", get_backend("reference"), semiring=MIN_PLUS)
+        vrt.register_rank(0, {(0, 0): np.ones((4, 4))})
+        vrt.sentinel_check(0, 0)
+        assert vrt.counters.get("sentinel_samples", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Certificate
+# ---------------------------------------------------------------------------
+class TestCertificate:
+    def test_deterministic_across_identical_runs(self, w48):
+        a = run(w48, "async", verify="full", fault_seed=7).verification
+        b = run(w48, "async", verify="full", fault_seed=7).verification
+        assert a == b
+
+    def test_deterministic_under_faults(self, w48):
+        plan = ["memflip:rank=0,k=2", "policy:ckpt=2"]
+        a = run(w48, "async", verify="full", fault_plan=plan, fault_seed=3).verification
+        b = run(w48, "async", verify="full", fault_plan=plan, fault_seed=3).verification
+        assert a == b
+
+    def test_residual_audit_flags_corrupt_distances(self, w48, oracle):
+        """Feeding the audit a corrupted matrix must fail the
+        certificate - this is the end-of-run net under everything
+        else."""
+        vrt = VerifyRuntime("full", get_backend("reference"), semiring=MIN_PLUS, seed=0)
+        bad = oracle.copy()
+        # Inflate a random half of the entries: a uniform row/column
+        # shift would cancel out of the triangle slack, a random
+        # scatter cannot.
+        mask = np.random.default_rng(1).random(bad.shape) < 0.5
+        bad[mask] += 50.0
+        cert = vrt.build_certificate(bad, w48)
+        assert not cert["passed"]
+        assert (
+            cert["audit"]["triangle_violations"] > 0
+            or cert["audit"]["sssp_mismatches"] > 0
+        )
+        good = vrt.build_certificate(oracle, w48)
+        assert good["passed"]
+
+
+# ---------------------------------------------------------------------------
+# Error classes and exit codes
+# ---------------------------------------------------------------------------
+class TestErrors:
+    def test_exit_codes(self):
+        assert _exit_code_for(SilentCorruptionError("x")) == 10
+        assert _exit_code_for(VerificationError("x")) == 11
+        assert _exit_code_for(ValidationError("x")) == 3
+
+    def test_verification_error_is_a_validation_error(self):
+        assert issubclass(VerificationError, ValidationError)
+
+    def test_silent_corruption_error_carries_location(self):
+        exc = SilentCorruptionError("bad tile", rank=2, block=(1, 3), op=7)
+        assert (exc.rank, exc.block, exc.op) == (2, (1, 3), 7)
