@@ -1,9 +1,10 @@
 """Quickstart: all-pairs shortest paths on a simulated multi-GPU cluster.
 
 Generates the paper's workload (a dense uniform random graph), solves
-APSP with every solver variant on a small simulated cluster, verifies
-the answers against the sequential blocked Floyd-Warshall oracle, and
-prints each run's performance report.
+APSP with every solver variant through the public ``repro.solve()``
+facade on a small simulated cluster, verifies the answers against the
+sequential blocked Floyd-Warshall oracle, and prints each run's
+performance report.
 
 Run:  python examples/quickstart.py
 """
@@ -12,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import apsp
+import repro
 from repro.core import Variant, blocked_fw
 from repro.graphs import uniform_random_dense
 
@@ -24,21 +25,16 @@ def main() -> None:
 
     oracle = blocked_fw(weights, block_size=16)
 
+    config = repro.SolveConfig(block_size=16, n_nodes=2, ranks_per_node=4)
     for variant in Variant:
-        result = apsp(
-            weights,
-            variant=variant,
-            block_size=16,
-            n_nodes=2,
-            ranks_per_node=4,
-        )
+        result = repro.solve(weights, config.replace(variant=variant.value))
         assert np.allclose(result.dist, oracle), f"{variant} diverged from oracle!"
         print(f"--- {variant.value} ---")
         print(result.report.summary())
         print()
 
     # The distances are real: query a few.
-    result = apsp(weights, variant="async", block_size=16, n_nodes=2, ranks_per_node=4)
+    result = repro.solve(weights, config.replace(variant="async"))
     print("sample shortest distances:")
     for src, dst in ((0, 1), (0, n - 1), (n // 2, 3)):
         print(f"  dist({src:3d} -> {dst:3d}) = {result.dist[src, dst]:.3f}")

@@ -5,11 +5,17 @@ Shortest Paths for Huge Graphs on Multi-GPU Clusters" (HPDC '21).
 
 Public API highlights
 ---------------------
-- :func:`repro.apsp` - one-call APSP over any variant on a simulated cluster.
+- :func:`repro.solve` + :class:`repro.SolveConfig` - the library entry
+  point (see README "Library usage" and :mod:`repro.api`).
+- :mod:`repro.obs` - zero-cost-when-off observability: metrics,
+  Chrome-trace export, perf-model validation.
 - :mod:`repro.semiring` - tropical algebra + SrGemm kernels.
 - :mod:`repro.core` - blocked / baseline / pipelined / offload Floyd-Warshall.
 - :mod:`repro.machine` - Summit-like machine model.
 - :mod:`repro.perfmodel` - the paper's analytic performance models.
+
+The original keyword entry point :func:`repro.apsp` still works but is
+deprecated in favor of :func:`repro.solve`.
 """
 
 from .errors import (
@@ -20,12 +26,25 @@ from .errors import (
     NegativeCycleError,
     RankFailure,
     ReproError,
+    SilentCorruptionError,
+    SinkError,
     ValidationError,
+    VerificationError,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # the public entry point
+    "solve",
+    "SolveConfig",
+    "ObsSinks",
+    "ApspResult",
+    "Variant",
+    "FaultPlan",
+    # legacy entry point (deprecated)
+    "apsp",
+    # errors
     "CheckpointError",
     "CommTimeoutError",
     "ConfigurationError",
@@ -33,13 +52,36 @@ __all__ = [
     "NegativeCycleError",
     "RankFailure",
     "ReproError",
+    "SilentCorruptionError",
+    "SinkError",
     "ValidationError",
+    "VerificationError",
     "__version__",
 ]
 
 
+def _deprecated_apsp(*args, **kwargs):
+    """The pre-1.1 keyword entry point, now a shim over the engine."""
+    import warnings
+
+    warnings.warn(
+        "repro.apsp() is deprecated; use repro.solve(graph, repro.SolveConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .core import apsp as _engine
+
+    return _engine(*args, **kwargs)
+
+
 def __getattr__(name):  # lazy imports keep `import repro` light
-    if name in ("apsp", "ApspResult", "Variant"):
+    if name in ("solve", "SolveConfig", "ObsSinks", "resolve_machine"):
+        from . import api
+
+        return getattr(api, name)
+    if name == "apsp":
+        return _deprecated_apsp
+    if name in ("ApspResult", "Variant"):
         from . import core
 
         return getattr(core, name)
@@ -47,7 +89,7 @@ def __getattr__(name):  # lazy imports keep `import repro` light
         from .faults import FaultPlan
 
         return FaultPlan
-    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis", "faults"):
+    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis", "faults", "api", "obs", "verify"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

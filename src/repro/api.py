@@ -1,0 +1,303 @@
+"""The public library entry point: ``repro.solve(graph, SolveConfig())``.
+
+After the kernel-backend, fault-injection, schedule-IR, and ABFT
+layers, the solver grew ~25 keyword arguments plus two environment
+variables.  This module gathers them into one frozen
+:class:`SolveConfig` (construct once, ``replace()`` to vary, pass
+around freely) and one :func:`solve` call, and makes the config the
+single attachment point for observability sinks (:class:`ObsSinks`).
+
+Precedence for environment-configurable knobs is **explicit argument >
+environment variable > built-in default**:
+
+* ``SolveConfig(kernel_backend=...)`` beats ``$REPRO_SRGEMM_BACKEND``
+  beats ``"reference"``;
+* ``SolveConfig(fault_plan=...)`` beats ``$REPRO_FAULT_PLAN`` beats
+  no plan.
+
+:meth:`SolveConfig.from_env` materializes the environment layer into
+the config, so the run's provenance is inspectable instead of implied
+(the lower layers apply the same precedence either way; each rule is
+pinned by ``tests/test_solve_api.py``).
+
+Typical use::
+
+    import repro
+    from repro.graphs import uniform_random_dense
+
+    w = uniform_random_dense(256, seed=0)
+    cfg = repro.SolveConfig(variant="async", block_size=32, n_nodes=4,
+                            ranks_per_node=4)
+    result = repro.solve(w, cfg)
+    print(result.makespan, result.report.summary())
+
+The legacy ``repro.apsp(...)`` keyword API keeps working behind a
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from .errors import ConfigurationError, SinkError
+
+__all__ = ["ObsSinks", "SolveConfig", "solve", "resolve_machine"]
+
+
+def _check_sink_path(path: str) -> None:
+    """Raise :class:`SinkError` unless ``path`` can be written."""
+    target = os.path.abspath(path)
+    if os.path.isdir(target):
+        raise SinkError(path, "path is a directory")
+    parent = os.path.dirname(target) or "."
+    if not os.path.isdir(parent):
+        raise SinkError(path, f"directory {parent!r} does not exist")
+    if not os.access(parent, os.W_OK):
+        raise SinkError(path, f"directory {parent!r} is not writable")
+    if os.path.exists(target) and not os.access(target, os.W_OK):
+        raise SinkError(path, "existing file is not writable")
+
+
+@dataclass(frozen=True)
+class ObsSinks:
+    """Observability attachment of one solve (see :mod:`repro.obs`).
+
+    Any non-default field arms the metrics registry; ``trace_out``
+    additionally forces span tracing.  :meth:`validate` runs *before*
+    the solve, so an unwritable path fails fast
+    (:class:`~repro.errors.SinkError`, CLI exit code 12) instead of
+    after the run.
+    """
+
+    #: Collect a :class:`~repro.obs.metrics.MetricsRegistry` on the run
+    #: (lands on ``result.metrics``) even without file sinks.
+    metrics: bool = False
+    #: Write the metrics catalog as JSON here after the solve.
+    metrics_out: Optional[str] = None
+    #: Write a Chrome ``trace_event`` JSON (Perfetto-openable) here.
+    trace_out: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.metrics or self.metrics_out or self.trace_out)
+
+    def validate(self) -> None:
+        for path in (self.metrics_out, self.trace_out):
+            if path is not None:
+                _check_sink_path(path)
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Frozen configuration of one distributed APSP solve.
+
+    Field-for-field the vocabulary of the engine
+    (:func:`repro.core.driver.apsp`), minus the sprawl: construct one,
+    derive variations with :meth:`replace`, and hand it to
+    :func:`solve`.
+    """
+
+    # -- algorithm ----------------------------------------------------------
+    variant: str = "async"
+    block_size: Optional[int] = None
+    track_paths: bool = False
+    exploit_sparsity: bool = False
+    #: SrGemm kernel backend name; None defers to
+    #: ``$REPRO_SRGEMM_BACKEND`` then ``"reference"`` (see
+    #: :meth:`from_env` for materializing that precedence).
+    kernel_backend: Optional[str] = None
+
+    # -- cluster shape ------------------------------------------------------
+    machine: Any = "summit"  # preset name or MachineSpec
+    n_nodes: int = 1
+    ranks_per_node: Optional[int] = None
+    #: Process grid as ``(pr, pc)``; None picks the near-square grid.
+    grid: Optional[tuple[int, int]] = None
+    dim_scale: float = 1.0
+    stragglers: Optional[Mapping[int, float]] = None
+
+    # -- schedule details ---------------------------------------------------
+    diag_on_gpu: bool = True
+    n_streams: int = 3
+    ring_segments: int = 1
+    mx_blocks: int = 2
+    nx_blocks: int = 2
+
+    # -- fault tolerance ----------------------------------------------------
+    #: A :class:`~repro.faults.FaultPlan`, CLI-style spec string(s), or
+    #: None, which defers to ``$REPRO_FAULT_PLAN``.
+    fault_plan: Any = None
+    checkpoint_interval: Optional[int] = None
+    recv_timeout: Optional[float] = None
+    fault_seed: int = 0
+
+    # -- verification / validation ------------------------------------------
+    verify: str = "off"
+    validate: bool = False
+    check_negative_cycles: bool = True
+
+    # -- outputs ------------------------------------------------------------
+    collect: bool = True
+    compute_numerics: bool = True
+    trace: bool = False
+    obs: ObsSinks = field(default_factory=ObsSinks)
+
+    def replace(self, **changes) -> "SolveConfig":
+        """A copy with the given fields replaced (the frozen-dataclass
+        idiom for deriving variations)."""
+        try:
+            return dataclasses.replace(self, **changes)
+        except TypeError as exc:
+            raise ConfigurationError(f"unknown SolveConfig field: {exc}") from None
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None, **fields
+    ) -> "SolveConfig":
+        """Build a config with the environment layer materialized.
+
+        Precedence per knob: **explicit field > environment variable >
+        default** - an explicit ``kernel_backend`` / ``fault_plan``
+        always wins; the environment only fills fields left at their
+        ``None`` default.
+
+        ``environ`` defaults to ``os.environ`` (injectable for tests).
+        """
+        from .faults.plan import FAULT_PLAN_ENV, FaultPlan
+        from .semiring.backends import ENV_BACKEND
+
+        env = os.environ if environ is None else environ
+        config = cls(**fields)
+        if config.kernel_backend is None:
+            backend = env.get(ENV_BACKEND)
+            if backend:
+                config = config.replace(kernel_backend=backend)
+        if config.fault_plan is None:
+            plan_json = env.get(FAULT_PLAN_ENV)
+            if plan_json:
+                config = config.replace(fault_plan=FaultPlan.from_json(plan_json))
+        return config
+
+
+def resolve_machine(machine: Any):
+    """Resolve a machine preset name (or pass a
+    :class:`~repro.machine.spec.MachineSpec` through)."""
+    from .machine import MACHINES
+    from .machine.spec import MachineSpec
+
+    if isinstance(machine, MachineSpec):
+        return machine
+    if isinstance(machine, str):
+        try:
+            return MACHINES[machine]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown machine preset {machine!r}; known: {sorted(MACHINES)}"
+            ) from None
+    raise ConfigurationError(
+        f"machine must be a preset name or MachineSpec, got {type(machine).__name__}"
+    )
+
+
+def solve(graph, config: Optional[SolveConfig] = None, **overrides):
+    """Solve all-pairs shortest paths: the public one-call entry point.
+
+    ``graph`` is a square weight matrix (``+inf`` = missing edge);
+    ``config`` a :class:`SolveConfig` (default-constructed when
+    omitted).  Keyword overrides are applied on top via
+    :meth:`SolveConfig.replace`, so quick calls stay one-liners::
+
+        result = repro.solve(w, variant="offload", block_size=64)
+
+    Returns an :class:`~repro.core.driver.ApspResult` (``dist``,
+    ``report``, ``makespan``, ``certificate``, ``faults``,
+    ``metrics``).  Observability sinks are validated *before* the
+    solve (:class:`~repro.errors.SinkError` on unusable paths) and
+    written after it.
+    """
+    if config is None:
+        config = SolveConfig()
+    if not isinstance(config, SolveConfig):
+        raise ConfigurationError(
+            f"config must be a SolveConfig, got {type(config).__name__}"
+        )
+    if overrides:
+        config = config.replace(**overrides)
+    # Fail on unusable sinks in milliseconds, not after the solve.
+    config.obs.validate()
+
+    from .core.driver import apsp as _engine
+    from .core.grid import ProcessGrid
+
+    grid = None
+    if config.grid is not None:
+        pr, pc = config.grid
+        grid = ProcessGrid(pr, pc)
+
+    result = _engine(
+        graph,
+        variant=config.variant,
+        block_size=config.block_size,
+        machine=resolve_machine(config.machine),
+        n_nodes=config.n_nodes,
+        ranks_per_node=config.ranks_per_node,
+        grid=grid,
+        dim_scale=config.dim_scale,
+        diag_on_gpu=config.diag_on_gpu,
+        n_streams=config.n_streams,
+        ring_segments=config.ring_segments,
+        mx_blocks=config.mx_blocks,
+        nx_blocks=config.nx_blocks,
+        collect_result=config.collect,
+        validate=config.validate,
+        trace=config.trace or config.obs.trace_out is not None,
+        check_negative_cycles=config.check_negative_cycles,
+        compute_numerics=config.compute_numerics,
+        stragglers=dict(config.stragglers) if config.stragglers else None,
+        track_paths=config.track_paths,
+        exploit_sparsity=config.exploit_sparsity,
+        kernel_backend=config.kernel_backend,
+        fault_plan=config.fault_plan,
+        checkpoint_interval=config.checkpoint_interval,
+        recv_timeout=config.recv_timeout,
+        fault_seed=config.fault_seed,
+        verify=config.verify,
+        metrics=config.obs.enabled,
+    )
+
+    if config.obs.metrics_out is not None:
+        payload = {"run": _run_header(result.report)}
+        payload.update(result.metrics.as_dict())
+        with open(config.obs.metrics_out, "w") as f:
+            json.dump(payload, f, indent=2)
+    if config.obs.trace_out is not None:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            result.tracer,
+            config.obs.trace_out,
+            run_name=f"repro {result.report.variant} "
+            f"n={result.report.n_virtual:g} b={result.report.block_size}",
+        )
+    return result
+
+
+def _run_header(report) -> dict:
+    return {
+        "variant": report.variant,
+        "n_virtual": report.n_virtual,
+        "block_size": report.block_size,
+        "n_nodes": report.n_nodes,
+        "ranks": report.ranks,
+        "grid": [report.grid_pr, report.grid_pc],
+        "machine": report.machine,
+        "makespan": report.makespan,
+    }
+
+
+# Re-exported for callers that only import repro.api.
+Sequence, Union  # noqa: B018 - silence unused-import linters minimally

@@ -5,9 +5,17 @@ Run a simulated distributed APSP from the shell::
     repro-apsp solve --n 128 --block 16 --variant async --nodes 4 \
         --ranks-per-node 4 --validate
     repro-apsp solve --n 128 --kernel-backend tiled
+    repro-apsp solve --n 128 --metrics-out metrics.json --trace-out trace.json
+    repro-apsp profile --n 96 --nodes 2 --report-json report.json \
+        --trace-out trace.json
     repro-apsp tune --n 300000 --nodes 64 --ranks-per-node 12
     repro-apsp variants
     repro-apsp backends
+
+All solver paths route through :func:`repro.solve` /
+:class:`repro.SolveConfig`; ``--metrics-out``/``--trace-out`` sinks are
+validated *before* solving and an unusable path exits with code 12
+(:class:`~repro.errors.SinkError`).
 """
 
 from __future__ import annotations
@@ -15,6 +23,25 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics catalog as JSON (path validated before solving; "
+        "profile writes one file per variant, suffixed .<variant>.json)",
+    )
+    p.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON openable in Perfetto/about:tracing "
+        "(profile writes one file per variant, suffixed .<variant>.json)",
+    )
+
 
 def _add_cluster_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--nodes", type=int, default=1, help="number of simulated nodes")
@@ -102,7 +129,34 @@ def build_parser() -> argparse.ArgumentParser:
         "triangle-inequality audit; a certificate is printed and a "
         "failing one exits with a distinct code (see docs/FAULTS.md)",
     )
+    _add_obs_args(solve)
     _add_cluster_args(solve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented runs per variant + perf-model validation report",
+    )
+    profile.add_argument("--n", type=int, default=96, help="number of vertices")
+    profile.add_argument("--input", type=str, default=None, help=".npz weight matrix (overrides --n)")
+    profile.add_argument("--block", type=int, default=None, help="block size b")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--density", type=float, default=1.0, help="edge probability")
+    profile.add_argument("--scale", type=float, default=1.0, help="virtual/physical dim scale")
+    profile.add_argument(
+        "--variants",
+        default="baseline,pipelined,offload",
+        metavar="LIST",
+        help="comma-separated variants to instrument (default: baseline,pipelined,offload)",
+    )
+    profile.add_argument(
+        "--report-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the validation report (constants + predicted-vs-measured rows) as JSON",
+    )
+    _add_obs_args(profile)
+    _add_cluster_args(profile)
 
     tune = sub.add_parser("tune", help="model-driven parameter recommendation")
     tune.add_argument("--n", type=float, required=True, help="virtual vertex count")
@@ -126,24 +180,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_solve(args: argparse.Namespace) -> int:
-    from .core import apsp
-    from .graphs import erdos_renyi, load_matrix, save_matrix, uniform_random_dense
-    from .machine import MACHINES
+def _load_graph(args: argparse.Namespace):
+    from .graphs import erdos_renyi, load_matrix, uniform_random_dense
 
     if args.input:
-        w = load_matrix(args.input)
-    elif args.density >= 1.0:
-        w = uniform_random_dense(args.n, seed=args.seed)
-    else:
-        w = erdos_renyi(args.n, args.density, seed=args.seed)
-    result = apsp(
-        w,
+        return load_matrix(args.input)
+    if args.density >= 1.0:
+        return uniform_random_dense(args.n, seed=args.seed)
+    return erdos_renyi(args.n, args.density, seed=args.seed)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from .api import ObsSinks, SolveConfig, solve
+    from .graphs import save_matrix
+
+    config = SolveConfig.from_env(
         variant=args.variant,
         block_size=args.block,
         n_nodes=args.nodes,
         ranks_per_node=args.ranks_per_node,
-        machine=MACHINES[args.machine],
+        machine=args.machine,
         dim_scale=args.scale,
         validate=args.validate,
         trace=args.trace,
@@ -155,7 +211,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
         recv_timeout=args.recv_timeout,
         fault_seed=args.fault_seed,
         verify=args.verify,
+        obs=ObsSinks(metrics_out=args.metrics_out, trace_out=args.trace_out),
     )
+    # Sinks fail fast (exit 12) before the graph is even built.
+    config.obs.validate()
+    w = _load_graph(args)
+    result = solve(w, config)
     print(result.report.summary())
     if result.fault_counters:
         print("\nfault injection / recovery:")
@@ -175,6 +236,67 @@ def cmd_solve(args: argparse.Namespace) -> int:
     if args.output:
         save_matrix(args.output, result.dist)
         print(f"distances written to {args.output}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        print(f"Chrome trace written to {args.trace_out} (open in Perfetto)")
+    return 0
+
+
+def _variant_sink(path: str, variant: str) -> str:
+    """Derive the per-variant sink file: trace.json -> trace.offload.json."""
+    import os
+
+    root, ext = os.path.splitext(path)
+    return f"{root}.{variant}{ext or '.json'}"
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import ObsSinks
+    from .obs.export import write_chrome_trace
+    from .obs.validation import run_profile
+
+    variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
+    if not variants:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError("--variants must name at least one variant")
+    # Validate every sink (including derived per-variant files) before
+    # spending any time solving.
+    sinks = [args.report_json] if args.report_json else []
+    for path in (args.metrics_out, args.trace_out):
+        if path:
+            sinks.extend(_variant_sink(path, v) for v in variants)
+    for path in sinks:
+        ObsSinks(metrics_out=path).validate()
+
+    w = _load_graph(args)
+    prof = run_profile(
+        w,
+        variants=variants,
+        block_size=args.block,
+        machine=args.machine,
+        n_nodes=args.nodes,
+        ranks_per_node=args.ranks_per_node,
+        dim_scale=args.scale,
+    )
+    print(prof.report.summary())
+    if args.report_json:
+        with open(args.report_json, "w") as f:
+            json.dump(prof.report.to_dict(), f, indent=2)
+        print(f"\nvalidation report written to {args.report_json}")
+    for variant, result in prof.results.items():
+        if args.metrics_out:
+            path = _variant_sink(args.metrics_out, variant)
+            with open(path, "w") as f:
+                json.dump(result.metrics.as_dict(), f, indent=2)
+            print(f"metrics[{variant}] written to {path}")
+        if args.trace_out:
+            path = _variant_sink(args.trace_out, variant)
+            write_chrome_trace(result.tracer, path, run_name=f"repro profile {variant}")
+            print(f"trace[{variant}] written to {path} (open in Perfetto)")
     return 0
 
 
@@ -260,12 +382,14 @@ def _exit_code_for(exc: Exception) -> int:
         NegativeCycleError,
         RankFailure,
         SilentCorruptionError,
+        SinkError,
         ValidationError,
         VerificationError,
     )
 
     for cls, code in (
         (BackendUnavailableError, 6),  # before its base ConfigurationError
+        (SinkError, 12),  # before its base ConfigurationError
         (ConfigurationError, 2),
         (VerificationError, 11),  # before its base ValidationError
         (ValidationError, 3),
@@ -287,6 +411,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": cmd_solve,
+        "profile": cmd_profile,
         "tune": cmd_tune,
         "variants": cmd_variants,
         "backends": cmd_backends,

@@ -213,6 +213,13 @@ class FwContext:
         #: driver, which also swaps ``backend`` for the checksummed
         #: wrapper.
         self.verify = None
+        #: Observability registry
+        #: (:class:`~repro.obs.metrics.MetricsRegistry`) when the run
+        #: was armed with ``metrics=True``; None keeps every
+        #: instrumentation hook on its zero-cost path, mirroring
+        #: ``faults`` / ``verify``.  Set by the driver, which also
+        #: swaps ``backend`` for the flop-metering wrapper.
+        self.obs = None
         self.world = mpi.world()
         #: Unlocalized row/column communicators, by grid row/col index.
         self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]

@@ -80,6 +80,28 @@ class ApspResult:
     #: ``full`` mode - the residual audit.  Also attached to
     #: ``report.verification``.
     verification: Optional[dict] = None
+    #: Observability registry (only when the run was armed with
+    #: ``metrics=True``): a :class:`~repro.obs.metrics.MetricsRegistry`
+    #: holding the full metric catalog (see docs/OBSERVABILITY.md).  A
+    #: flat snapshot also lands on ``report.metrics``.
+    metrics: Optional[object] = None
+
+    # -- consistent field-name aliases (the public result vocabulary:
+    # makespan / certificate / faults / metrics) ------------------------
+    @property
+    def makespan(self) -> float:
+        """Simulated end-to-end seconds (``report.elapsed``)."""
+        return self.report.elapsed
+
+    @property
+    def certificate(self) -> Optional[dict]:
+        """The ABFT verification certificate (alias of ``verification``)."""
+        return self.verification
+
+    @property
+    def faults(self) -> Optional[dict]:
+        """Fault injection/recovery counters (alias of ``fault_counters``)."""
+        return self.fault_counters
 
 
 def default_block_size(n: int, grid: ProcessGrid) -> int:
@@ -140,6 +162,7 @@ def apsp(
     recv_timeout: Optional[float] = None,
     fault_seed: int = 0,
     verify: str = "off",
+    metrics: bool = False,
 ) -> ApspResult:
     """Solve all-pairs shortest paths on the simulated cluster.
 
@@ -208,6 +231,14 @@ def apsp(
         corruption without a restart path raises
         :class:`~repro.errors.SilentCorruptionError`.  Sampling is
         seeded by ``fault_seed``, so certificates are deterministic.
+    metrics:
+        Arm the observability layer (:mod:`repro.obs`): a
+        :class:`~repro.obs.metrics.MetricsRegistry` is attached to the
+        run (``ctx.obs`` / ``mpi.obs``) and lands on
+        ``result.metrics``.  Off (the default) keeps every
+        instrumentation hook on its zero-cost path; on, the hooks only
+        read simulated clocks and operand shapes, so makespans are
+        identical either way.
 
     Raises
     ------
@@ -301,6 +332,17 @@ def apsp(
             config.verify, ctx.backend, semiring=semiring, seed=fault_seed
         )
         ctx.backend = ChecksummedBackend(ctx.verify)
+    obs = None
+    if metrics:
+        from ..obs import MeteredBackend, MetricsRegistry
+
+        obs = MetricsRegistry()
+        ctx.obs = obs
+        mpi.obs = obs
+        # Outermost wrapper: meter exactly what the run executes
+        # (including checksummed kernels); preserves modeled_cost_scale,
+        # so kernel durations - and makespans - are unchanged.
+        ctx.backend = MeteredBackend(obs, ctx.backend)
     injector = None
     if plan is not None:
         injector = FaultInjector(plan, tracer if trace else None)
@@ -390,8 +432,12 @@ def apsp(
             check_no_negative_cycle(dist)
     if validate:
         # The oracle runs on the *unwrapped* kernel: same numerics,
-        # minus the checksumming (its temporaries are untracked anyway).
-        oracle_backend = ctx.verify.inner if ctx.verify is not None else ctx.backend
+        # minus the checksumming (its temporaries are untracked anyway)
+        # and minus the metering (oracle flops are not the run's work).
+        if ctx.verify is not None:
+            oracle_backend = ctx.verify.inner
+        else:
+            oracle_backend = ctx.backend.inner if obs is not None else ctx.backend
         oracle = blocked_fw(
             w, b, semiring=semiring, check_negative_cycles=False, backend=oracle_backend
         )
@@ -420,11 +466,27 @@ def apsp(
             raise VerificationError(
                 f"verification certificate failed: {verification}"
             )
+    if obs is not None:
+        from ..obs.collect import finalize_metrics
+
+        finalize_metrics(
+            obs,
+            report=report,
+            mpi=mpi,
+            cluster=cluster,
+            cost=cost,
+            tracer=tracer if trace else None,
+            injector=injector,
+            verify=ctx.verify,
+            bcast_policy=ctx.bcast_policy.name,
+        )
+        report.metrics = obs.flat()
     return ApspResult(dist=dist if collect_result else None, report=report,
                       tracer=tracer if trace else None,
                       next_hops=next_hops if collect_result else None,
                       fault_counters=dict(injector.counters) if injector is not None else None,
-                      verification=verification)
+                      verification=verification,
+                      metrics=obs)
 
 
 def _run_with_recovery(

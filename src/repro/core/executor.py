@@ -265,6 +265,20 @@ def _chunks(items: list, size: int) -> list:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+def _observed_oog(obs, pipe):
+    """Generator wrapper: run the ooGSrGemm pipeline and fold its
+    :class:`~repro.core.oog_srgemm.OogStats` into the metrics registry
+    (pure bookkeeping at completion; no simulation events)."""
+    stats = yield from pipe
+    if stats is not None:
+        obs.counter("oog.tiles").inc(stats.tiles)
+        obs.counter("oog.flops_virtual").inc(stats.flops_virtual)
+        obs.counter("oog.h2d_bytes_virtual").inc(stats.h2d_bytes_virtual)
+        obs.counter("oog.d2h_bytes_virtual").inc(stats.d2h_bytes_virtual)
+        obs.histogram("oog.pipeline").observe(stats.elapsed)
+    return stats
+
+
 def _outer_tiles(
     state: RankState,
     k: int,
@@ -490,6 +504,8 @@ class HostResident(ResidencyPolicy):
             ctx.env, state.gpu, state.host, tiles, ctx.config.n_streams,
             label=f"r{state.me}.oog{k}",
         )
+        if ctx.obs is not None:
+            pipe = _observed_oog(ctx.obs, pipe)
         if wait:
             yield from pipe
         else:
@@ -629,11 +645,15 @@ _HANDLERS = {
 
 def _lower(state: RankState, residency: ResidencyPolicy, env: _IterEnv, op: ir.ScheduleOp):
     """Generator: run one op; with tracing on, record a task-level
-    ``op:<Name>`` span when the op consumed simulated time."""
+    ``op:<Name>`` span when the op consumed simulated time; with
+    metrics on, feed the per-phase duration histograms.  Both
+    instrumentation paths only read the simulated clock, so makespans
+    are identical with them on or off."""
     ctx = state.ctx
     tracer = ctx.tracer
+    obs = ctx.obs
     vrt = ctx.verify
-    if tracer is None:
+    if tracer is None and obs is None:
         yield from _HANDLERS[type(op)](state, residency, env, op)
         if vrt is not None:
             # Op boundary: surface any corruption the guarded kernels
@@ -646,9 +666,12 @@ def _lower(state: RankState, residency: ResidencyPolicy, env: _IterEnv, op: ir.S
     yield from _HANDLERS[type(op)](state, residency, env, op)
     t1 = ctx.env.now
     if t1 > t0:
-        k = getattr(op, "k", None)
-        label = op.opname if k is None else f"{op.opname}({k})"
-        tracer.record(f"rank{state.me}", OP_CATEGORY_PREFIX + op.opname, label, t0, t1)
+        if tracer is not None:
+            k = getattr(op, "k", None)
+            label = op.opname if k is None else f"{op.opname}({k})"
+            tracer.record(f"rank{state.me}", OP_CATEGORY_PREFIX + op.opname, label, t0, t1)
+        if obs is not None:
+            obs.histogram(f"phase.{op.opname}").observe(t1 - t0)
     if vrt is not None:
         vrt.raise_pending()
 

@@ -58,6 +58,28 @@ class PerfReport:
     #: ABFT verification certificate (:mod:`repro.verify`), present only
     #: when the run was verified (``verify != "off"``).
     verification: Optional[dict] = None
+    #: Intranode placement tile (ranks of one node per grid row/col -
+    #: the Q_r x Q_c of the paper's §3.4.1 NIC-sharing model).
+    placement_qr: int = 0
+    placement_qc: int = 0
+    #: Ranks sharing one physical GPU (2 in the paper's launches); the
+    #: flop term of Eq. 1 divides by physical GPUs, not ranks.
+    gpus_share: float = 1.0
+    #: Flat snapshot of the observability registry (metric name ->
+    #: scalar), present only on ``metrics=True`` runs (the live
+    #: registry is on ``ApspResult.metrics``).
+    metrics: Optional[dict] = None
+
+    # -- consistent field-name aliases (makespan / certificate) -------------
+    @property
+    def makespan(self) -> float:
+        """Simulated end-to-end seconds (alias of ``elapsed``)."""
+        return self.elapsed
+
+    @property
+    def certificate(self) -> Optional[dict]:
+        """The ABFT verification certificate (alias of ``verification``)."""
+        return self.verification
 
     # -- derived metrics ----------------------------------------------------
     @property
@@ -170,4 +192,9 @@ class PerfReport:
             messages=mpi.message_count,
             gpu_peak_bytes=gpu_peak,
             counters=dict(tracer.counters) if tracer is not None else {},
+            placement_qr=placement.qr,
+            placement_qc=placement.qc,
+            gpus_share=max(
+                1.0, placement.ranks_per_node / cluster.machine.node.gpus_per_node
+            ),
         )

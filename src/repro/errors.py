@@ -17,6 +17,7 @@ RankFailure                   8
 CheckpointError               9
 SilentCorruptionError        10
 VerificationError            11
+SinkError                    12
 =========================  ====
 """
 
@@ -34,6 +35,7 @@ __all__ = [
     "CheckpointError",
     "SilentCorruptionError",
     "VerificationError",
+    "SinkError",
 ]
 
 
@@ -167,3 +169,16 @@ class VerificationError(ValidationError):
     """The run's verification certificate failed: the completed result
     did not pass the residual audit (sampled triangle-inequality /
     reference-SSSP checks), so it must not be served."""
+
+
+class SinkError(ConfigurationError):
+    """An observability output sink (``--metrics-out`` /
+    ``--trace-out``) is unusable - the path's directory is missing, or
+    the target is not writable.  Raised *before* the solve starts, so a
+    bad flag fails in milliseconds instead of throwing a traceback
+    after a possibly hour-long run."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"cannot write to sink {path!r}: {reason}")

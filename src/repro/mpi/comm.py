@@ -49,6 +49,11 @@ __all__ = [
 ANY_SOURCE = -1
 ANY_TAG = -1
 
+#: Message classes by tag opcode (tag = (k << 3) | op, see
+#: :class:`repro.core.context.Op`); negative tags are the fault
+#: layer's control traffic (re-requests, retransmits).
+_TAG_CLASS = {0: "diag_row", 1: "diag_col", 2: "panel_row", 3: "panel_col"}
+
 
 @dataclass(frozen=True)
 class Message:
@@ -131,6 +136,13 @@ class SimMPI:
         #: :class:`~repro.faults.injector.FaultInjector`; None (the
         #: default) keeps the transport on its zero-overhead path.
         self.injector = None
+        #: Armed by the driver with a
+        #: :class:`~repro.obs.metrics.MetricsRegistry`; None (the
+        #: default) keeps the transport on its zero-overhead path.
+        #: When set, every message is counted into per-class
+        #: (``diag_row`` / ``panel_col`` / ...) and per-scope
+        #: (``intranode`` / ``internode``) byte and message counters.
+        self.obs = None
 
     def virtual_nbytes(self, payload: Any) -> float:
         return virtual_nbytes(payload, self.cluster.cost)
@@ -165,6 +177,14 @@ class SimMPI:
         else:
             self.bytes_internode += nbytes
         self.message_count += 1
+        obs = self.obs
+        if obs is not None:
+            cls = _TAG_CLASS.get(tag & 7, "other") if tag >= 0 else "control"
+            scope = "intranode" if src_node == dst_node else "internode"
+            obs.counter(f"comm.{cls}.bytes").inc(nbytes)
+            obs.counter(f"comm.{cls}.messages").inc()
+            obs.counter(f"comm.{scope}.bytes").inc(nbytes)
+            obs.counter(f"comm.{scope}.messages").inc()
         msg = Message(src, tag, buffered, nbytes, sent_at, self.env.now, seq, checksum)
         if injector is None:
             self._mailboxes[dst].put(msg)

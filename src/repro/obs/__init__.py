@@ -1,0 +1,69 @@
+"""Observability layer: metrics, span export, perf-model validation.
+
+Zero-cost when off: the driver only instantiates a
+:class:`MetricsRegistry` when asked (``metrics=True`` /
+``ObsSinks.enabled``), and every hook in the executor, the MPI
+transport, the ooGSrGemm pipeline, the fault injector, and the verify
+runtime sits behind an ``is not None`` check on an attachment slot -
+the same contract as ``ctx.faults`` / ``ctx.verify``.  With metrics
+*enabled* the instrumentation reads simulated clocks and operand
+shapes but never creates simulation events, so makespans are identical
+either way (both pinned by ``tests/test_obs.py``).
+
+Public pieces:
+
+* :class:`MetricsRegistry` (+ :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram`) - the typed registry (:mod:`repro.obs.metrics`);
+* :func:`chrome_trace` / :func:`write_chrome_trace` /
+  :func:`validate_chrome_trace` / :func:`text_timeline` - span export
+  (:mod:`repro.obs.export`);
+* :class:`MeteredBackend` - the flop-metering kernel wrapper
+  (:mod:`repro.obs.metered`);
+* :func:`run_profile` / :func:`build_report` - perf-model validation
+  (:mod:`repro.obs.validation`; imported lazily, it pulls in the
+  solver stack).
+"""
+
+from __future__ import annotations
+
+from .export import chrome_trace, text_timeline, validate_chrome_trace, write_chrome_trace
+from .metered import MeteredBackend
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MeteredBackend",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "text_timeline",
+    "finalize_metrics",
+    "run_profile",
+    "build_report",
+    "PerfModelReport",
+    "FittedConstants",
+    "VariantMeasurement",
+    "ProfileResult",
+]
+
+
+def __getattr__(name):  # lazy: validation pulls in the whole solver stack
+    if name in (
+        "run_profile",
+        "build_report",
+        "PerfModelReport",
+        "FittedConstants",
+        "VariantMeasurement",
+        "ProfileResult",
+    ):
+        from . import validation
+
+        return getattr(validation, name)
+    if name == "finalize_metrics":
+        from .collect import finalize_metrics
+
+        return finalize_metrics
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

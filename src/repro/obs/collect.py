@@ -1,0 +1,68 @@
+"""Finalize a run's metrics registry from the driver's artifacts.
+
+The live hooks (executor phase timings, transport byte counters, the
+metered kernel backend, the ooG pipeline stats) feed the registry
+*during* the run; this module folds in everything that only exists at
+the end - the performance report's aggregates, the fault injector's
+and verify runtime's counters, and the tracer's per-category busy
+times - so ``--metrics-out`` serializes one complete picture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["finalize_metrics"]
+
+
+def finalize_metrics(
+    registry: MetricsRegistry,
+    *,
+    report,
+    mpi,
+    cluster,
+    cost,
+    tracer=None,
+    injector=None,
+    verify=None,
+    bcast_policy: Optional[str] = None,
+) -> None:
+    """Fold end-of-run aggregates into ``registry`` (in place)."""
+    registry.gauge("run.makespan").set(report.elapsed)
+    registry.gauge("run.block_size").set(report.block_size)
+    registry.gauge("run.n_virtual").set(report.n_virtual)
+    registry.gauge("run.ranks").set(report.ranks)
+    registry.gauge("run.nodes").set(report.n_nodes)
+    registry.label("run.variant", report.variant)
+    registry.label("run.machine", report.machine)
+    registry.label("run.placement", report.placement)
+    if bcast_policy is not None:
+        registry.label("comm.panel_bcast.policy", bcast_policy)
+
+    registry.gauge("comm.messages.total").set(mpi.message_count)
+    registry.gauge("comm.internode.bytes_total").set(mpi.bytes_internode)
+    registry.gauge("comm.intranode.bytes_total").set(mpi.bytes_intranode)
+    registry.gauge("comm.max_node_nic.bytes").set(cluster.max_nic_bytes())
+    registry.gauge("gpu.peak_hbm.bytes").set(report.gpu_peak_bytes)
+
+    # Physical kernel flops (from the metered backend) at paper scale.
+    phys = registry.value("kernel.flops", 0.0)
+    if phys:
+        registry.gauge("kernel.flops_virtual").set(phys * cost.dim_scale**3)
+
+    if tracer is not None:
+        # Per-engine-category busy time/volume (SrGemm, h2dXfer,
+        # d2hXfer, nic_xfer, intra_xfer, checkpoint, ...): the tracer
+        # already accumulates `<cat>.time` / `<cat>.bytes` / `<cat>.count`.
+        for name, value in tracer.counters.items():
+            registry.gauge(f"span.{name}").set(value)
+
+    if injector is not None:
+        for name, value in injector.counters.items():
+            registry.counter(name).inc(value)  # names are already faults.*
+
+    if verify is not None:
+        for name, value in verify.counters.items():
+            registry.counter(f"verify.{name}").inc(value)

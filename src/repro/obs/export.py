@@ -1,0 +1,133 @@
+"""Span export: Chrome ``trace_event`` JSON and a plain-text timeline.
+
+The simulator's :class:`~repro.sim.trace.Tracer` already records every
+span of a traced run - per-engine kernel/transfer spans, NIC
+occupancy, and the executor's task-level ``op:*`` spans.  This module
+serializes them to the Chrome trace-event format (the ``"X"`` complete
+events of the `trace_event spec`), so any run can be dropped into
+Perfetto / ``chrome://tracing``, plus a plain-text per-actor timeline
+for terminals and diffs.
+
+Mapping: the whole run is one process; every tracer actor (``rank3``,
+``node0.nic``, ``gpu0.0:SrGemm``, ...) becomes one named thread, with
+simulated seconds scaled to trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..sim.trace import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "text_timeline",
+]
+
+#: Simulated seconds -> trace microseconds.
+_US = 1e6
+
+
+def chrome_trace(tracer: Tracer, run_name: str = "repro simulated run") -> dict:
+    """Serialize a tracer to a Chrome ``trace_event`` JSON object.
+
+    One ``"M"`` (metadata) event names the process and each actor
+    thread; one ``"X"`` (complete) event per span carries ``ts``/``dur``
+    in microseconds and the span category as ``cat``.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": run_name},
+        }
+    ]
+    tids: dict[str, int] = {}
+    for actor in tracer.actors():
+        tid = len(tids) + 1
+        tids[actor] = tid
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": actor},
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.label,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": 1,
+                "tid": tids[span.actor],
+                "args": {"actor": span.actor},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str, run_name: str = "repro simulated run") -> None:
+    with open(path, "w") as f:
+        json.dump(chrome_trace(tracer, run_name), f)
+
+
+def validate_chrome_trace(obj: object) -> int:
+    """Schema-check a (possibly JSON-round-tripped) trace object.
+
+    Verifies the invariants Perfetto's importer relies on and returns
+    the number of ``"X"`` duration events; raises ``ValueError`` on the
+    first violation.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError("trace must be an object with a 'traceEvents' array")
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    n_spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            raise ValueError(f"traceEvents[{i}]: unsupported phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"traceEvents[{i}]: missing string 'name'")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            raise ValueError(f"traceEvents[{i}]: pid/tid must be integers")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"traceEvents[{i}]: 'ts' must be a non-negative number")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}]: 'dur' must be a non-negative number")
+            n_spans += 1
+    return n_spans
+
+
+def text_timeline(tracer: Tracer, actor: Optional[str] = None) -> str:
+    """A plain-text per-actor timeline: every span, chronological
+    within its actor, one line each (the grep-able complement of the
+    Chrome trace)."""
+    if not tracer.spans:
+        return "(empty trace)"
+    actors = [actor] if actor is not None else tracer.actors()
+    lines: list[str] = []
+    for a in actors:
+        spans = sorted(tracer.spans_by_actor(a), key=lambda s: (s.start, s.end))
+        lines.append(f"== {a} ({len(spans)} spans) ==")
+        for s in spans:
+            lines.append(
+                f"  {s.start * 1e3:12.6f}ms  +{s.duration * 1e3:10.6f}ms  "
+                f"{s.category:<16s} {s.label}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Flop/call-metering decorator around any SrGemm kernel backend.
+
+Mirrors :class:`repro.verify.backend.ChecksummedBackend`: every variant
+routes its numerics through ``ctx.backend``, so wrapping that one
+object meters every kernel of the run - panel updates, outer products,
+path kernels, the offload tile pipeline.  The wrapper preserves the
+inner backend's public contract (``name``, ``compute_dtype``, ``rtol``,
+``byte_budget``, and critically ``modeled_cost_scale``), so modeled
+kernel durations - and therefore makespans - are bit-identical with
+metering on or off.
+
+Counted flops are *physical* (2mnk per call, from operand shapes);
+the driver's finalize step scales them to virtual (paper-scale) flops
+through the cost model's ``dim_scale``.  Hollow runs
+(``compute_numerics=False``) never invoke kernel closures, so these
+counters read zero there - ``repro profile`` always runs real numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..semiring.backends.base import KernelBackend
+from ..semiring.minplus import MIN_PLUS, Semiring
+from .metrics import MetricsRegistry
+
+__all__ = ["MeteredBackend"]
+
+
+class MeteredBackend(KernelBackend):
+    """Delegates every kernel to ``inner``, counting calls and 2mnk
+    flops per kernel family into the run's metrics registry."""
+
+    available = True
+
+    def __init__(self, registry: MetricsRegistry, inner: KernelBackend):
+        super().__init__(byte_budget=inner.byte_budget)
+        self.registry = registry
+        self.inner = inner
+        # Keep the inner backend's identity: metering is transparent.
+        self.name = inner.name
+        self.compute_dtype = inner.compute_dtype
+        self.rtol = inner.rtol
+        self.modeled_cost_scale = inner.modeled_cost_scale
+        registry.label("kernel.backend", inner.name)
+
+    def _count(self, family: str, m: int, n: int, k: int) -> None:
+        self.registry.counter(f"kernel.{family}.calls").inc()
+        self.registry.counter(f"kernel.{family}.flops").inc(2.0 * m * n * k)
+        self.registry.counter("kernel.flops").inc(2.0 * m * n * k)
+
+    def srgemm_accumulate(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        self._count("srgemm", c.shape[0], c.shape[1], a.shape[1])
+        return self.inner.srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def panel_row_update(
+        self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+    ) -> np.ndarray:
+        self._count("panel_update", panel.shape[0], panel.shape[1], diag.shape[1])
+        return self.inner.panel_row_update(panel, diag, semiring=semiring)
+
+    def panel_col_update(
+        self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+    ) -> np.ndarray:
+        self._count("panel_update", panel.shape[0], panel.shape[1], diag.shape[0])
+        return self.inner.panel_col_update(panel, diag, semiring=semiring)
+
+    def srgemm_accumulate_paths(
+        self,
+        c: np.ndarray,
+        c_nxt: np.ndarray,
+        a: np.ndarray,
+        a_nxt: np.ndarray,
+        b: np.ndarray,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        self._count("srgemm_paths", c.shape[0], c.shape[1], a.shape[1])
+        return self.inner.srgemm_accumulate_paths(c, c_nxt, a, a_nxt, b, k_chunk=k_chunk)
+
+    def describe(self) -> str:
+        return f"flop-metered wrapper over: {self.inner.describe()}"

@@ -1,0 +1,196 @@
+"""Typed metrics registry for instrumented runs.
+
+A :class:`MetricsRegistry` is the single collection point of the
+observability layer: the executor, the MPI transport, the ooGSrGemm
+pipeline, the fault injector, and the verify runtime all feed it -
+but only when the driver armed the run with ``metrics=True``.  On
+plain runs every attachment slot (``ctx.obs``, ``mpi.obs``) stays
+``None`` and the hooks cost one ``if``, mirroring the ``ctx.faults`` /
+``ctx.verify`` zero-cost contract (pinned by ``tests/test_obs.py``
+against pre-instrumentation recordings).
+
+Three metric kinds, all monotone-cheap to update:
+
+* :class:`Counter` - an accumulating sum (bytes, messages, flops);
+* :class:`Gauge` - a last-write-wins scalar (makespan, peak HBM);
+* :class:`Histogram` - summary statistics of observed samples
+  (count / sum / min / max / mean), used for per-phase durations.
+
+Names are dotted paths (``comm.panel_row.bytes``,
+``phase.OuterUpdate``); the catalog lives in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically accumulating sum."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Summary statistics over observed samples (no buckets: the
+    consumers here want count / sum / extrema / mean, and the simulated
+    time scale varies over orders of magnitude between runs)."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of typed metrics plus string labels.
+
+    Metric identity is by name; asking for an existing name with a
+    different kind is a programming error and raises ``TypeError``
+    (silent kind confusion would corrupt the exported catalog).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+        #: String annotations (kernel backend name, bcast policy, ...).
+        self.labels: Dict[str, str] = {}
+
+    # -- get-or-create -------------------------------------------------------
+    def _get(self, cls, name: str, help: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def label(self, name: str, value: str) -> None:
+        self.labels[name] = str(value)
+
+    # -- queries -------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (histograms: the sum)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.sum
+        return metric.value
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- export --------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Stable machine-readable snapshot (what ``--metrics-out``
+        serializes)."""
+        return {
+            "metrics": {name: self._metrics[name].to_dict() for name in self.names()},
+            "labels": dict(sorted(self.labels.items())),
+        }
+
+    def flat(self) -> dict[str, float]:
+        """One scalar per metric: counters/gauges by value, histograms
+        exploded into ``.count`` / ``.sum`` / ``.mean``."""
+        out: dict[str, float] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = float(metric.count)
+                out[f"{name}.sum"] = metric.sum
+                out[f"{name}.mean"] = metric.mean
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
