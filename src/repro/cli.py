@@ -155,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the validation report (constants + predicted-vs-measured rows) as JSON",
     )
+    profile.add_argument(
+        "--kernel-backend",
+        type=str,
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="SrGemm backend for the instrumented runs; a comma-separated "
+        "list or 'all' enters sweep mode, profiling each available "
+        "backend and printing a fitted-t_f / wall-clock comparison table",
+    )
     _add_obs_args(profile)
     _add_cluster_args(profile)
 
@@ -273,6 +282,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         ObsSinks(metrics_out=path).validate()
 
     w = _load_graph(args)
+    backends = _profile_backends(args.kernel_backend)
+    if len(backends) > 1:
+        return _profile_backend_sweep(args, w, variants, backends)
     prof = run_profile(
         w,
         variants=variants,
@@ -281,6 +293,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         ranks_per_node=args.ranks_per_node,
         dim_scale=args.scale,
+        kernel_backend=backends[0],
     )
     print(prof.report.summary())
     if args.report_json:
@@ -297,6 +310,90 @@ def cmd_profile(args: argparse.Namespace) -> int:
             path = _variant_sink(args.trace_out, variant)
             write_chrome_trace(result.tracer, path, run_name=f"repro profile {variant}")
             print(f"trace[{variant}] written to {path} (open in Perfetto)")
+    return 0
+
+
+def _profile_backends(spec) -> list:
+    """Resolve the profile --kernel-backend spec to a backend list.
+
+    ``None`` → [None] (process default, single-backend mode); a single
+    name → [name]; a comma list or ``all`` → sweep over the named /
+    every available backend.
+    """
+    if spec is None:
+        return [None]
+    if spec.strip().lower() == "all":
+        from .semiring.backends import available_backends
+
+        return sorted(available_backends())
+    names = [s.strip() for s in spec.split(",") if s.strip()]
+    if not names:
+        from .errors import ConfigurationError
+
+        raise ConfigurationError("--kernel-backend must name at least one backend")
+    from .semiring.backends import get_backend
+
+    for name in names:  # fail fast on unknown/unavailable names
+        get_backend(name)
+    return names
+
+
+def _profile_backend_sweep(args: argparse.Namespace, w, variants, backends) -> int:
+    """Sweep mode: one instrumented profile per backend, then a
+    comparison table of fitted t_f (simulated; backend-invariant by
+    design) against the physical wall-clock rate each backend achieved
+    (from the ``kernel.wall_seconds`` meter)."""
+    import json
+
+    from .obs.validation import run_profile
+
+    rows = []
+    reports = {}
+    for name in backends:
+        prof = run_profile(
+            w,
+            variants=variants,
+            block_size=args.block,
+            machine=args.machine,
+            n_nodes=args.nodes,
+            ranks_per_node=args.ranks_per_node,
+            dim_scale=args.scale,
+            kernel_backend=name,
+        )
+        reports[name] = prof.report.to_dict()
+        flops = sum(
+            r.metrics.value("kernel.flops", 0.0) for r in prof.results.values()
+        )
+        wall = sum(
+            r.metrics.value("kernel.wall_seconds", 0.0) for r in prof.results.values()
+        )
+        rows.append(
+            {
+                "backend": name,
+                "t_f_fitted": prof.report.constants.t_f,
+                "kernel_flops": flops,
+                "kernel_wall_seconds": wall,
+                "wall_t_f": (wall / flops) if flops else float("nan"),
+                "wall_gflops": (flops / wall / 1e9) if wall else float("nan"),
+            }
+        )
+    print(f"kernel-backend sweep over {len(rows)} backends "
+          f"(variants: {', '.join(variants)})")
+    print(f"{'backend':<12s} {'fitted t_f':>12s} {'wall t_f':>12s} {'wall GF/s':>10s}")
+    for r in rows:
+        print(
+            f"{r['backend']:<12s} {r['t_f_fitted']:>12.3e} "
+            f"{r['wall_t_f']:>12.3e} {r['wall_gflops']:>10.3f}"
+        )
+    print(
+        "\nfitted t_f is derived from simulated kernel-busy time and is "
+        "backend-invariant by design; wall t_f / GF/s measure the physical "
+        "kernel speed of each backend on this host."
+    )
+    if args.report_json:
+        with open(args.report_json, "w") as f:
+            json.dump({"sweep": rows, "reports": reports}, f, indent=2)
+        print(f"\nsweep report written to {args.report_json}")
     return 0
 
 

@@ -101,7 +101,7 @@ def blocked_fw_inplace(
         # outer product must not re-update the panels with stale data -
         # but since ⊕ is idempotent and the panels are already closed
         # over block k, a full-matrix update is both correct and simpler.
-        kernels.srgemm_accumulate(dist, colk, rowk, semiring=semiring)
+        kernels.srgemm_outer(dist, colk, rowk, semiring=semiring)
     return dist
 
 

@@ -585,7 +585,7 @@ def outer_update(
             for i in rows:
                 a_ik = col_panel[i]
                 for j in cols:
-                    ctx.backend.srgemm_accumulate(
+                    ctx.backend.srgemm_outer(
                         state.blocks[(i, j)], a_ik, row_panel[j], semiring=ctx.semiring
                     )
 

@@ -79,7 +79,7 @@ def _lookahead_diag(state: RankState, k: int, row_panel, col_panel):
         a = col_panel[k + 1]
 
         def fn():
-            ctx.backend.srgemm_accumulate(blk, a, bmat, semiring=ctx.semiring)
+            ctx.backend.srgemm_diag(blk, a, bmat, semiring=ctx.semiring)
 
     return state.stream.kernel(
         ctx.b,
@@ -126,7 +126,7 @@ def _lookahead_panel(state: RankState, k: int, axis: ir.Axis, row_panel, col_pan
 
             def fn():
                 for j in idxs:
-                    ctx.backend.srgemm_accumulate(
+                    ctx.backend.srgemm_panel(
                         state.blocks[(k + 1, j)], a, row_panel[j], semiring=ctx.semiring
                     )
 
@@ -147,7 +147,7 @@ def _lookahead_panel(state: RankState, k: int, axis: ir.Axis, row_panel, col_pan
 
             def fn():
                 for i in idxs:
-                    ctx.backend.srgemm_accumulate(
+                    ctx.backend.srgemm_panel(
                         state.blocks[(i, k + 1)], col_panel[i], bmat, semiring=ctx.semiring
                     )
 
@@ -208,7 +208,7 @@ def _staged_lookahead_diag(state: RankState, k: int, row_panel, col_panel) -> No
     bmat = row_panel[k + 1]
 
     def fn():
-        ctx.backend.srgemm_accumulate(blk, a, bmat, semiring=ctx.semiring)
+        ctx.backend.srgemm_diag(blk, a, bmat, semiring=ctx.semiring)
 
     s.h2d(b, 3 * b, label=f"h2d:lookahead_diag{k + 1}")
     s.kernel(b, b, b, f"LookaheadDiag({k + 1})", maybe(ctx, fn),
@@ -232,7 +232,7 @@ def _staged_lookahead_panel(state: RankState, k: int, axis: ir.Axis, row_panel, 
 
         def fn():
             for j in idxs:
-                ctx.backend.srgemm_accumulate(
+                ctx.backend.srgemm_panel(
                     state.blocks[(k + 1, j)], a, row_panel[j], semiring=ctx.semiring
                 )
 
@@ -250,7 +250,7 @@ def _staged_lookahead_panel(state: RankState, k: int, axis: ir.Axis, row_panel, 
 
     def fn():
         for i in idxs:
-            ctx.backend.srgemm_accumulate(
+            ctx.backend.srgemm_panel(
                 state.blocks[(i, k + 1)], col_panel[i], bmat, semiring=ctx.semiring
             )
 
@@ -319,7 +319,7 @@ def _outer_tiles(
                 a = np.vstack([col_panel[i] for i in rows])
                 bmat = np.hstack([row_panel[j] for j in cols])
                 x = semiring.zeros((a.shape[0], bmat.shape[1]), dtype=a.dtype)
-                return ctx.backend.srgemm_accumulate(x, a, bmat, semiring=semiring)
+                return ctx.backend.srgemm_outer(x, a, bmat, semiring=semiring)
 
             clean_compute = compute
             if oog_bits:

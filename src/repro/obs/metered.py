@@ -14,10 +14,20 @@ the driver's finalize step scales them to virtual (paper-scale) flops
 through the cost model's ``dim_scale``.  Hollow runs
 (``compute_numerics=False``) never invoke kernel closures, so these
 counters read zero there - ``repro profile`` always runs real numerics.
+
+Metric families: ``kernel.srgemm`` aggregates every fused/phase
+product; the phase-specialized entries additionally count under
+``kernel.srgemm_diag`` / ``kernel.srgemm_panel`` /
+``kernel.srgemm_outer``, so per-phase flop splits are visible when the
+schedule dispatches per phase.  ``kernel.wall_seconds`` accumulates
+*physical* wall-clock time inside inner kernel calls - the signal the
+``profile --kernel-backend`` sweep uses to compare real backend speed
+(simulated time is backend-invariant by design).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -51,6 +61,22 @@ class MeteredBackend(KernelBackend):
         self.registry.counter(f"kernel.{family}.flops").inc(2.0 * m * n * k)
         self.registry.counter("kernel.flops").inc(2.0 * m * n * k)
 
+    def _count_product(self, phase: Optional[str], m: int, n: int, k: int) -> None:
+        """One product call: always the aggregate ``srgemm`` family,
+        plus the phase family when dispatched through a phase entry."""
+        self._count("srgemm", m, n, k)
+        if phase is not None:
+            self.registry.counter(f"kernel.{phase}.calls").inc()
+            self.registry.counter(f"kernel.{phase}.flops").inc(2.0 * m * n * k)
+
+    def _timed(self, fn, *args, **kwargs):
+        """Run an inner kernel, accruing physical wall time."""
+        t0 = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.registry.counter("kernel.wall_seconds").inc(time.perf_counter() - t0)
+
     def srgemm_accumulate(
         self,
         c: np.ndarray,
@@ -59,20 +85,55 @@ class MeteredBackend(KernelBackend):
         semiring: Semiring = MIN_PLUS,
         k_chunk: Optional[int] = None,
     ) -> np.ndarray:
-        self._count("srgemm", c.shape[0], c.shape[1], a.shape[1])
-        return self.inner.srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+        self._count_product(None, c.shape[0], c.shape[1], a.shape[1])
+        return self._timed(
+            self.inner.srgemm_accumulate, c, a, b, semiring=semiring, k_chunk=k_chunk
+        )
+
+    def srgemm_diag(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        self._count_product("srgemm_diag", c.shape[0], c.shape[1], a.shape[1])
+        return self._timed(self.inner.srgemm_diag, c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def srgemm_panel(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        self._count_product("srgemm_panel", c.shape[0], c.shape[1], a.shape[1])
+        return self._timed(self.inner.srgemm_panel, c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def srgemm_outer(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        self._count_product("srgemm_outer", c.shape[0], c.shape[1], a.shape[1])
+        return self._timed(self.inner.srgemm_outer, c, a, b, semiring=semiring, k_chunk=k_chunk)
 
     def panel_row_update(
         self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
     ) -> np.ndarray:
         self._count("panel_update", panel.shape[0], panel.shape[1], diag.shape[1])
-        return self.inner.panel_row_update(panel, diag, semiring=semiring)
+        return self._timed(self.inner.panel_row_update, panel, diag, semiring=semiring)
 
     def panel_col_update(
         self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
     ) -> np.ndarray:
         self._count("panel_update", panel.shape[0], panel.shape[1], diag.shape[0])
-        return self.inner.panel_col_update(panel, diag, semiring=semiring)
+        return self._timed(self.inner.panel_col_update, panel, diag, semiring=semiring)
 
     def srgemm_accumulate_paths(
         self,
@@ -84,7 +145,9 @@ class MeteredBackend(KernelBackend):
         k_chunk: Optional[int] = None,
     ) -> np.ndarray:
         self._count("srgemm_paths", c.shape[0], c.shape[1], a.shape[1])
-        return self.inner.srgemm_accumulate_paths(c, c_nxt, a, a_nxt, b, k_chunk=k_chunk)
+        return self._timed(
+            self.inner.srgemm_accumulate_paths, c, c_nxt, a, a_nxt, b, k_chunk=k_chunk
+        )
 
     def describe(self) -> str:
         return f"flop-metered wrapper over: {self.inner.describe()}"

@@ -386,11 +386,17 @@ def run_profile(
     n_nodes: int = 1,
     ranks_per_node: Optional[int] = None,
     dim_scale: float = 1.0,
+    kernel_backend: Optional[str] = None,
 ) -> ProfileResult:
     """Run one instrumented solve per variant and validate the models.
 
     This is the engine of the ``repro profile`` CLI subcommand; it is
-    also directly usable as a library call.
+    also directly usable as a library call.  ``kernel_backend`` selects
+    the SrGemm backend the instrumented runs execute on (``None``
+    resolves the process default); note fitted constants come from
+    *simulated* busy time, which is backend-invariant by design - the
+    physical per-backend speed signal is the ``kernel.wall_seconds``
+    counter in each result's metrics registry.
     """
     # Imported here: repro.api imports repro.obs, so a module-level
     # import would be circular.
@@ -408,6 +414,7 @@ def run_profile(
             n_nodes=n_nodes,
             ranks_per_node=ranks_per_node,
             dim_scale=dim_scale,
+            kernel_backend=kernel_backend,
             trace=True,
             obs=ObsSinks(metrics=True),
         )

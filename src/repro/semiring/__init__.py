@@ -30,7 +30,10 @@ from .kernels import (
     panel_row_update,
     srgemm,
     srgemm_accumulate,
+    srgemm_diag,
     srgemm_flops,
+    srgemm_outer,
+    srgemm_panel,
 )
 from .path_kernels import (
     NO_HOP,
@@ -64,6 +67,9 @@ __all__ = [
     "weight_matrix_is_valid",
     "srgemm",
     "srgemm_accumulate",
+    "srgemm_diag",
+    "srgemm_panel",
+    "srgemm_outer",
     "srgemm_flops",
     "eltwise_plus",
     "panel_row_update",

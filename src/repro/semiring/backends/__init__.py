@@ -17,9 +17,22 @@ Shipped backends
 ``tiled-f32``
     The tiled kernel with an opt-in float32 compute path (~2x
     memory-bandwidth saving, documented ``rtol = 1e-5``).
+``tensor``
+    Buffer-reusing broadcast 3-D tensor kernel (Anjary-style
+    vectorized formulation) with budget-bounded k-chunks.
+``cnative``
+    Multi-stage C kernel compiled at first use with the system
+    ``cc``/``gcc``/``clang`` (ctypes); unavailable when no compiler is
+    on PATH.  The fastest CPU path without numba.
 ``compiled``
     numba-JIT fused triple loop; auto-marked unavailable when numba is
     not installed.
+``compiled-ms``
+    numba multi-stage kernels: serial diag, ``prange`` row-parallel
+    panel/outer; unavailable without numba.
+``cupy``
+    GPU chunked-broadcast kernel; unavailable without cupy or without
+    a CUDA device, with the reason reported.
 
 Selection precedence
 --------------------
@@ -37,8 +50,12 @@ import numpy as np
 
 from ...errors import BackendUnavailableError, ConfigurationError
 from .base import KernelBackend
+from .cnative import CNativeBackend
 from .compiled import HAVE_NUMBA, CompiledBackend
+from .gpu import HAVE_CUPY, CupyBackend
+from .multistage import MultiStageBackend
 from .reference import ReferenceBackend
+from .tensor import TensorBackend
 from .tiled import TiledBackend
 from .tuning import (
     DEFAULT_KERNEL_BYTE_BUDGET,
@@ -52,8 +69,13 @@ __all__ = [
     "KernelBackend",
     "ReferenceBackend",
     "TiledBackend",
+    "TensorBackend",
+    "CNativeBackend",
     "CompiledBackend",
+    "MultiStageBackend",
+    "CupyBackend",
     "HAVE_NUMBA",
+    "HAVE_CUPY",
     "KernelTiling",
     "kernel_byte_budget",
     "tune_kernel_tiling",
@@ -151,4 +173,8 @@ def use_backend(name: Optional[str]):
 register_backend(ReferenceBackend())
 register_backend(TiledBackend())
 register_backend(TiledBackend(compute_dtype=np.float32))  # "tiled-f32"
+register_backend(TensorBackend())
+register_backend(CNativeBackend())
 register_backend(CompiledBackend())
+register_backend(MultiStageBackend())  # "compiled-ms"
+register_backend(CupyBackend())

@@ -32,6 +32,20 @@ panel (always correct); the tiled backend narrows the snapshot to one
 k-slice stripe per output stripe, bounding the copy by the byte budget
 instead of the panel size.
 
+Phase-specialized entry points
+------------------------------
+Blocked Floyd-Warshall touches the kernel waist in three distinct
+roles (paper Alg. 2): the *diagonal* update (inherently serial in
+``k``), the *panel* updates along the pivot row/column, and the bulk
+*outer-product* MinPlus updates.  ``srgemm_diag`` / ``srgemm_panel`` /
+``srgemm_outer`` expose those roles so a multi-stage backend can swap
+in a kernel shaped for each phase; all three default to the fused
+``srgemm_accumulate`` path, so single-kernel backends participate
+unchanged.  Call sites (``core/executor.py``, ``core/blocked.py``,
+``core/oog_srgemm.py``, ``semiring/closure.py``) dispatch per phase,
+and the verify/obs wrappers forward each entry to the matching inner
+entry so specialization survives composition.
+
 Equivalence contract
 --------------------
 For float64 inputs a backend must match the reference backend
@@ -107,6 +121,21 @@ class KernelBackend:
     def resolved_byte_budget(self) -> int:
         return kernel_byte_budget(self.byte_budget)
 
+    def compute_itemsize(self, *operands: np.ndarray) -> int:
+        """Bytes per element of the dtype the kernel actually computes
+        in: the advertised ``compute_dtype`` when set, else the
+        operands' result dtype.  Tiling must be sized by *this* width -
+        a float32 compute path fits twice the elements per byte budget
+        even when the operands arrive as float64.  (Path kernels are
+        the exception: they always run in operand dtype so next-hop
+        choices stay backend-invariant.)
+        """
+        if self.compute_dtype is not None:
+            return np.dtype(self.compute_dtype).itemsize
+        if operands:
+            return np.result_type(*[o.dtype for o in operands]).itemsize
+        return 8
+
     # -- the SrGemm contract -------------------------------------------------
     def srgemm(
         self,
@@ -140,6 +169,48 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    # -- phase-specialized entry points --------------------------------------
+    # Each defaults to the fused path; multi-stage backends override the
+    # ones they specialize.  All share srgemm_accumulate's signature,
+    # shape checks, and aliasing contract.
+    def srgemm_diag(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """DiagUpdate-phase product (pivot-block closure steps);
+        inherently serial in ``k``."""
+        return self.srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def srgemm_panel(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """PanelUpdate-phase product (pivot row/column panels).  The
+        *non-aliased* product step; the aliasing dance stays inside
+        ``panel_row_update`` / ``panel_col_update``, which snapshot and
+        then call this entry."""
+        return self.srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def srgemm_outer(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """MinPlus outer-product phase - the bulk of the flops and the
+        most profitable phase to specialize."""
+        return self.srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
     def panel_row_update(
         self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
     ) -> np.ndarray:
@@ -148,7 +219,7 @@ class KernelBackend:
         if diag.shape[0] != diag.shape[1] or diag.shape[1] != panel.shape[0]:
             raise ValueError(f"diag {diag.shape} incompatible with row panel {panel.shape}")
         # Full-panel snapshot: always alias-safe, at panel-sized cost.
-        return self.srgemm_accumulate(panel, diag, panel.copy(), semiring=semiring)
+        return self.srgemm_panel(panel, diag, panel.copy(), semiring=semiring)
 
     def panel_col_update(
         self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
@@ -157,7 +228,7 @@ class KernelBackend:
         multiplies from the right)."""
         if diag.shape[0] != diag.shape[1] or panel.shape[1] != diag.shape[0]:
             raise ValueError(f"diag {diag.shape} incompatible with column panel {panel.shape}")
-        return self.srgemm_accumulate(panel, panel.copy(), diag, semiring=semiring)
+        return self.srgemm_panel(panel, panel.copy(), diag, semiring=semiring)
 
     # -- path tracking -------------------------------------------------------
     def srgemm_accumulate_paths(

@@ -1,0 +1,140 @@
+"""Optional GPU SrGemm backend (cupy).
+
+The paper's kernels run on V100s through cuASR/CUTLASS; the nearest
+drop-in for this NumPy repo is cupy's broadcast formulation of the
+same (min,+) product, k-chunked so the ``(m, k_chunk, n)`` candidate
+tensor stays within a device byte budget (default 256 MiB - GPU memory
+is the constraint, not L2; override via
+``REPRO_SRGEMM_GPU_BYTE_BUDGET``).
+
+cupy is a *soft* dependency, gated exactly like ``compiled``:
+
+* cupy not importable       → ``available=False``,
+  ``unavailable_reason="cupy is not installed"``;
+* cupy present, no device   → ``available=False``,
+  ``unavailable_reason="no CUDA device present"``.
+
+The registry then refuses to hand the backend out with a clear error,
+and the CLI ``backends`` listing shows the reason.  Nothing in the
+default code path imports cupy.
+
+When available, the four comparison-⊕ semirings run on device (exact
+min/max reductions → bit-exact vs the float64 reference); other
+semirings and non-float dtypes fall back to the tiled CPU path.
+Host↔device transfers happen per call - this backend wins only when
+``b`` is large enough that O(b³) compute dominates the O(b²) copies,
+which matches the paper's regime.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..minplus import MIN_PLUS, Semiring
+from .base import validate_accumulate
+from .tiled import TiledBackend
+from .tuning import tune_kernel_tiling
+
+__all__ = ["CupyBackend", "HAVE_CUPY"]
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+
+    HAVE_CUPY = True
+except ImportError:
+    cupy = None
+    HAVE_CUPY = False
+
+#: Device-side budget for the (m, k_chunk, n) candidate tensor.
+DEFAULT_GPU_BYTE_BUDGET = 256 * 1024 * 1024
+ENV_GPU_BYTE_BUDGET = "REPRO_SRGEMM_GPU_BYTE_BUDGET"
+
+#: Semirings with exact device reductions.
+_DEVICE_SEMIRINGS = ("min_plus", "max_plus", "max_min", "min_max")
+
+
+def _probe_device() -> Optional[str]:  # pragma: no cover - requires cupy
+    """None if a CUDA device is usable, else the reason it is not."""
+    try:
+        if cupy.cuda.runtime.getDeviceCount() < 1:
+            return "no CUDA device present"
+    except Exception:
+        return "no CUDA device present"
+    return None
+
+
+class CupyBackend(TiledBackend):
+    """cupy chunked-broadcast kernel; tiled CPU fallback for semirings
+    the device path does not cover."""
+
+    def __init__(self, byte_budget: Optional[int] = None):
+        super().__init__(byte_budget=byte_budget, name="cupy")
+        if not HAVE_CUPY:
+            self.available = False
+            self.unavailable_reason = "cupy is not installed"
+        else:  # pragma: no cover - requires cupy
+            reason = _probe_device()
+            self.available = reason is None
+            self.unavailable_reason = reason
+
+    @staticmethod
+    def _gpu_budget() -> int:
+        env = os.environ.get(ENV_GPU_BYTE_BUDGET)
+        return int(env) if env else DEFAULT_GPU_BYTE_BUDGET
+
+    def _device_ufuncs(self, semiring: Semiring):  # pragma: no cover - requires cupy
+        return {
+            "min_plus": (cupy.minimum, cupy.add),
+            "max_plus": (cupy.maximum, cupy.add),
+            "max_min": (cupy.maximum, cupy.minimum),
+            "min_max": (cupy.minimum, cupy.maximum),
+        }[semiring.name]
+
+    def srgemm_accumulate(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        if (
+            not self.available
+            or semiring.name not in _DEVICE_SEMIRINGS
+            or c.dtype.kind != "f"
+        ):
+            return super().srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+        return self._device_accumulate(c, a, b, semiring, k_chunk)
+
+    def _device_accumulate(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring,
+        k_chunk: Optional[int],
+    ) -> np.ndarray:  # pragma: no cover - requires cupy + device
+        validate_accumulate(c, a, b)
+        m, k = a.shape
+        n = b.shape[1]
+        if k == 0 or m == 0 or n == 0:
+            return c
+        plus, times = self._device_ufuncs(semiring)
+        step = k_chunk or tune_kernel_tiling(
+            m, n, k, self.compute_itemsize(a, b), self._gpu_budget(), reduce_planes=1
+        ).k_chunk
+        d_c = cupy.asarray(c)
+        d_a = cupy.asarray(a)
+        d_b = cupy.asarray(b)
+        for k0 in range(0, k, step):
+            k1 = min(k0 + step, k)
+            cand = times(d_a[:, k0:k1, None], d_b[None, k0:k1, :])
+            plus(d_c, plus.reduce(cand, axis=1), out=d_c)
+        np.copyto(c, cupy.asnumpy(d_c))
+        return c
+
+    def describe(self) -> str:
+        return f"cupy chunked broadcast on device; {super().describe()}"

@@ -1,0 +1,143 @@
+"""Multi-stage numba backend: phase-specialized jitted kernels.
+
+The Lund & Smith multi-stage blocked-FW design transposed to numba:
+instead of one fused kernel for every update, each phase of blocked
+Floyd-Warshall (Alg. 2) gets the kernel its dependency structure
+allows:
+
+* **diag** - the pivot-block update chains through ``k``, so it keeps
+  the serial fused ``i/t/j`` kernel (shared with the plain ``compiled``
+  backend; there is nothing to parallelize without changing results).
+* **panel** / **outer** - after the aliasing snapshot (taken by the
+  inherited stripe-narrowed ``panel_*_update``), these are independent
+  row computations: the jitted kernels ``prange`` over output rows, so
+  every worker owns a disjoint slice of ``C``, and specialize the
+  inner loop for contiguous ``B`` rows.
+
+``fastmath`` is restricted to ``{'contract'}`` (FMA licensing only):
+distance matrices carry ``inf``, and the full fastmath set assumes
+no inf/nan and would miscompile the relaxation.
+
+Results are bit-exact versus the reference backend on every
+comparison-⊕ semiring: parallelization only reorders an exact
+idempotent reduction.  Non-comparison semirings and non-float dtypes
+fall back to the tiled NumPy path (inherited via ``CompiledBackend``),
+so the backend is total over ``SEMIRINGS``.
+
+Like ``compiled``, this is a *soft* dependency: without numba the
+backend registers with ``available = False`` and a reason string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..minplus import MIN_PLUS, Semiring
+from .base import validate_accumulate
+from .compiled import HAVE_NUMBA, _OPCODES, CompiledBackend
+
+__all__ = ["MultiStageBackend"]
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+_jit_rowpar: Optional[Callable] = None
+
+
+def _build_rowpar_kernel():  # pragma: no cover - requires numba
+    """Compile the row-parallel panel/outer kernel once, lazily."""
+    global _jit_rowpar
+    if _jit_rowpar is not None:
+        return _jit_rowpar
+
+    @numba.njit(cache=True, parallel=True, fastmath={"contract"})
+    def rowpar(c, a, b, op):
+        m, k = a.shape
+        n = b.shape[1]
+        for i in numba.prange(m):
+            for t in range(k):
+                ait = a[i, t]
+                for j in range(n):
+                    if op == 0:
+                        cand = ait + b[t, j]
+                        if cand < c[i, j]:
+                            c[i, j] = cand
+                    elif op == 1:
+                        cand = ait + b[t, j]
+                        if cand > c[i, j]:
+                            c[i, j] = cand
+                    elif op == 2:
+                        cand = ait if ait < b[t, j] else b[t, j]
+                        if cand > c[i, j]:
+                            c[i, j] = cand
+                    else:
+                        cand = ait if ait > b[t, j] else b[t, j]
+                        if cand < c[i, j]:
+                            c[i, j] = cand
+
+    _jit_rowpar = rowpar
+    return rowpar
+
+
+class MultiStageBackend(CompiledBackend):
+    """numba multi-stage kernels: serial diag, row-parallel panel/outer."""
+
+    def __init__(self, byte_budget: Optional[int] = None):
+        super().__init__(byte_budget=byte_budget)
+        self.name = "compiled-ms"
+
+    def _rowpar_accumulate(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring,
+        k_chunk: Optional[int],
+    ) -> Optional[np.ndarray]:
+        op = _OPCODES.get(semiring.name)
+        if op is None or c.dtype.kind != "f" or not HAVE_NUMBA:
+            return None
+        validate_accumulate(c, a, b)
+        if a.shape[1] == 0 or c.size == 0:
+            return c
+        kernel = _build_rowpar_kernel()
+        kernel(c, np.ascontiguousarray(a), np.ascontiguousarray(b), op)
+        return c
+
+    # diag: inherit CompiledBackend.srgemm_accumulate via the base
+    # srgemm_diag default - the serial fused kernel *is* the diag stage.
+
+    def srgemm_panel(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        out = self._rowpar_accumulate(c, a, b, semiring, k_chunk)
+        if out is not None:
+            return out
+        return super().srgemm_panel(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def srgemm_outer(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        out = self._rowpar_accumulate(c, a, b, semiring, k_chunk)
+        if out is not None:
+            return out
+        return super().srgemm_outer(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+    def describe(self) -> str:
+        return (
+            "numba multi-stage kernels (serial diag, prange panel/outer, "
+            f"fastmath=contract only); {super().describe()}"
+        )
+

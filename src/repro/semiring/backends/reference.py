@@ -44,8 +44,7 @@ class ReferenceBackend(KernelBackend):
         n = b.shape[1]
         if k == 0:
             return c
-        itemsize = np.result_type(a.dtype, b.dtype).itemsize
-        step = k_chunk or self.tiling(m, n, k, itemsize).k_chunk
+        step = k_chunk or self.tiling(m, n, k, self.compute_itemsize(a, b)).k_chunk
         plus, times = semiring.plus, semiring.times
         for k0 in range(0, k, step):
             k1 = min(k0 + step, k)

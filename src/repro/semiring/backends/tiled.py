@@ -121,7 +121,7 @@ class TiledBackend(KernelBackend):
         for j0 in range(0, n, tile_n):
             j1 = min(j0 + tile_n, n)
             stripe = panel[:, j0:j1].copy()  # the k-slice this stripe reads
-            self.srgemm_accumulate(panel[:, j0:j1], diag, stripe, semiring=semiring)
+            self.srgemm_panel(panel[:, j0:j1], diag, stripe, semiring=semiring)
         return panel
 
     def panel_col_update(
@@ -137,5 +137,5 @@ class TiledBackend(KernelBackend):
         for i0 in range(0, m, tile_m):
             i1 = min(i0 + tile_m, m)
             stripe = panel[i0:i1, :].copy()  # the k-slice this stripe reads
-            self.srgemm_accumulate(panel[i0:i1, :], stripe, diag, semiring=semiring)
+            self.srgemm_panel(panel[i0:i1, :], stripe, diag, semiring=semiring)
         return panel

@@ -89,6 +89,7 @@ def tune_kernel_tiling(
     k: int,
     itemsize: int = 8,
     byte_budget: Optional[int] = None,
+    reduce_planes: int = 0,
 ) -> KernelTiling:
     """Pick tile / k-chunk sizes for an ``(m, n, k)`` SrGemm.
 
@@ -100,11 +101,23 @@ def tune_kernel_tiling(
         Bytes per element of the *compute* dtype (8 for float64, 4 for
         the float32 path - halving it doubles the elements a tile may
         hold, which is where the float32 bandwidth saving comes from).
+        Backends resolve this via
+        :meth:`repro.semiring.backends.base.KernelBackend.compute_itemsize`
+        so a float32 compute path is sized by 4-byte elements even when
+        the operands arrive as float64.
     byte_budget:
         Optional budget override; see :func:`kernel_byte_budget`.
+    reduce_planes:
+        Number of extra ``(m, n)`` planes the backend keeps alive
+        alongside the ``(m, k_chunk, n)`` broadcast temporary (the
+        tensor backend's reduction output is one such plane).  Their
+        bytes are reserved off the budget *before* sizing ``k_chunk``
+        so the true peak stays bounded.
     """
     if m < 0 or n < 0 or k < 0:
         raise ValueError(f"negative kernel dimensions: ({m}, {n}, {k})")
+    if reduce_planes < 0:
+        raise ValueError(f"reduce_planes must be non-negative, got {reduce_planes}")
     budget = kernel_byte_budget(byte_budget)
     itemsize = max(1, int(itemsize))
 
@@ -115,7 +128,9 @@ def tune_kernel_tiling(
     tile_n = max(1, min(n or 1, cap_elems))
     tile_m = max(1, min(m or 1, cap_elems // tile_n))
 
-    # Broadcast chunk: (m, k_chunk, n) temporary within the full budget.
+    # Broadcast chunk: (m, k_chunk, n) temporary, plus any reserved
+    # reduction planes, within the full budget.
     plane = max(1, (m or 1) * (n or 1) * itemsize)
-    k_chunk = max(1, min(k or 1, budget // plane))
+    chunk_budget = max(0, budget - reduce_planes * plane)
+    k_chunk = max(1, min(k or 1, chunk_budget // plane))
     return KernelTiling(tile_m=tile_m, tile_n=tile_n, k_chunk=k_chunk, byte_budget=budget)

@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import NegativeCycleError
-from .kernels import srgemm, srgemm_accumulate
+from .kernels import srgemm, srgemm_accumulate, srgemm_diag
 from .minplus import MIN_PLUS, Semiring
 
 __all__ = [
@@ -104,7 +104,9 @@ def closure_by_squaring(
     for _ in range(steps):
         # out ← out ⊕ out ⊗ out; with I ⊆ out the ⊕ with the old value
         # is implied, but accumulating keeps the kernel shape uniform.
-        out = srgemm_accumulate(out.copy(), out, out, semiring=semiring, backend=backend)
+        # The squaring chain is the DiagUpdate phase, so it goes through
+        # the k-serial diag entry of the backend.
+        out = srgemm_diag(out.copy(), out, out, semiring=semiring, backend=backend)
     return out
 
 

@@ -23,6 +23,9 @@ from .minplus import MIN_PLUS, Semiring
 __all__ = [
     "srgemm",
     "srgemm_accumulate",
+    "srgemm_diag",
+    "srgemm_panel",
+    "srgemm_outer",
     "srgemm_flops",
     "eltwise_plus",
     "panel_row_update",
@@ -85,6 +88,45 @@ def srgemm_accumulate(
     ``b`` must not alias ``c`` (see the backend aliasing contract).
     """
     return get_backend(backend).srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+
+def srgemm_diag(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    k_chunk: Optional[int] = None,
+    backend: BackendArg = None,
+) -> np.ndarray:
+    """DiagUpdate-phase ``C ← C ⊕ A ⊗ B`` (pivot-block closure steps);
+    backends may route this to a k-serial specialized kernel."""
+    return get_backend(backend).srgemm_diag(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+
+def srgemm_panel(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    k_chunk: Optional[int] = None,
+    backend: BackendArg = None,
+) -> np.ndarray:
+    """PanelUpdate-phase ``C ← C ⊕ A ⊗ B`` (after the aliasing
+    snapshot; see the backend contract)."""
+    return get_backend(backend).srgemm_panel(c, a, b, semiring=semiring, k_chunk=k_chunk)
+
+
+def srgemm_outer(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    k_chunk: Optional[int] = None,
+    backend: BackendArg = None,
+) -> np.ndarray:
+    """MinPlus outer-product phase ``C ← C ⊕ A ⊗ B`` - the bulk of the
+    flops; backends may route this to their widest-parallel kernel."""
+    return get_backend(backend).srgemm_outer(c, a, b, semiring=semiring, k_chunk=k_chunk)
 
 
 def eltwise_plus(

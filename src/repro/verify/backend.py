@@ -49,6 +49,37 @@ class ChecksummedBackend(KernelBackend):
     ) -> np.ndarray:
         return self.runtime.accumulate(c, a, b, semiring, k_chunk=k_chunk)
 
+    # Phase-specialized entries: same guarded cycle, inner phase kernel.
+    def srgemm_diag(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.runtime.accumulate(c, a, b, semiring, k_chunk=k_chunk, entry="srgemm_diag")
+
+    def srgemm_panel(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.runtime.accumulate(c, a, b, semiring, k_chunk=k_chunk, entry="srgemm_panel")
+
+    def srgemm_outer(
+        self,
+        c: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+        k_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.runtime.accumulate(c, a, b, semiring, k_chunk=k_chunk, entry="srgemm_outer")
+
     def panel_row_update(
         self, panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
     ) -> np.ndarray:

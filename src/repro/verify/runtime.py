@@ -160,13 +160,22 @@ class VerifyRuntime:
             guard.row, guard.col = actual
 
     # -- guarded kernels (called from ChecksummedBackend) --------------------
-    def accumulate(self, c, a, b, semiring: Semiring, k_chunk=None) -> np.ndarray:
+    def accumulate(
+        self, c, a, b, semiring: Semiring, k_chunk=None, entry: str = "srgemm_accumulate"
+    ) -> np.ndarray:
+        """Guarded fused/phase product.  ``entry`` names the inner
+        backend method to invoke (``srgemm_accumulate`` or one of the
+        phase-specialized ``srgemm_diag``/``srgemm_panel``/
+        ``srgemm_outer``), so phase specialization survives the verify
+        wrapper; the checksum algebra is entry-invariant, and repair
+        always goes through the reference fused kernel (exact
+        equivalent for comparison-⊕ semirings)."""
         guard = self._tiles.get(id(c))
         pre = block_checksums(c, semiring)
-        self._precheck(guard, pre, "srgemm_accumulate")
+        self._precheck(guard, pre, entry)
         c_pre = c.copy()
         predicted = predicted_accumulate(pre, a, b, semiring, self.inner.compute_dtype)
-        self.inner.srgemm_accumulate(c, a, b, semiring=semiring, k_chunk=k_chunk)
+        getattr(self.inner, entry)(c, a, b, semiring=semiring, k_chunk=k_chunk)
         self._count("ops_checked")
         actual = block_checksums(c, semiring)
         if not checksums_match(predicted, actual):

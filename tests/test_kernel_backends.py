@@ -21,6 +21,7 @@ from repro.semiring.backends import (
     ENV_BACKEND,
     ENV_BYTE_BUDGET,
     CompiledBackend,
+    HAVE_CUPY,
     HAVE_NUMBA,
     KernelBackend,
     ReferenceBackend,
@@ -58,7 +59,16 @@ def _operands(m, n, k, semiring, seed=0):
 class TestRegistry:
     def test_builtin_registrations(self):
         names = set(registered_backends())
-        assert {"reference", "tiled", "tiled-f32", "compiled"} <= names
+        assert {
+            "reference",
+            "tiled",
+            "tiled-f32",
+            "tensor",
+            "cnative",
+            "compiled",
+            "compiled-ms",
+            "cupy",
+        } <= names
 
     def test_default_is_reference(self, monkeypatch):
         monkeypatch.delenv(ENV_BACKEND, raising=False)
@@ -117,6 +127,29 @@ class TestRegistry:
     @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
     def test_compiled_available_with_numba(self):
         assert get_backend("compiled").name == "compiled"
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed; backend is usable")
+    def test_multistage_unavailable_without_numba(self):
+        backend = registered_backends()["compiled-ms"]
+        assert not backend.available
+        assert "numba" in backend.unavailable_reason
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            get_backend("compiled-ms")
+
+    @pytest.mark.skipif(HAVE_CUPY, reason="cupy installed; probe is device-dependent")
+    def test_cupy_unavailable_without_cupy(self):
+        backend = registered_backends()["cupy"]
+        assert not backend.available
+        assert "cupy" in backend.unavailable_reason
+        with pytest.raises(BackendUnavailableError, match="cupy"):
+            get_backend("cupy")
+
+    def test_unavailable_backends_report_reasons(self):
+        # Every registered-but-unavailable backend must say why, so the
+        # `backends` CLI listing is actionable.
+        for name, backend in registered_backends().items():
+            if not backend.available:
+                assert backend.unavailable_reason, name
 
     def test_kernels_module_honors_backend_argument(self):
         a, b, _ = _operands(4, 5, 3, MIN_PLUS)
@@ -298,6 +331,41 @@ class TestByteBudget:
     def test_invalid_budget_rejected(self):
         with pytest.raises(ValueError):
             kernel_byte_budget(0)
+
+    def test_compute_width_doubles_chunk(self):
+        # Halving the compute itemsize doubles the k-slab the same
+        # budget can hold (the float32 bandwidth saving).
+        f64 = tune_kernel_tiling(128, 128, 512, 8)
+        f32 = tune_kernel_tiling(128, 128, 512, 4)
+        assert f32.k_chunk == 2 * f64.k_chunk
+
+    def test_backend_compute_itemsize(self):
+        a64 = np.zeros((2, 2))
+        a32 = np.zeros((2, 2), dtype=np.float32)
+        assert get_backend("tiled").compute_itemsize(a64, a64) == 8
+        assert get_backend("tiled").compute_itemsize(a32, a32) == 4
+        # An advertised compute dtype wins over the operand dtype.
+        assert get_backend("tiled-f32").compute_itemsize(a64, a64) == 4
+
+    def test_reduce_planes_reserved_off_budget(self):
+        # Budget sized for exactly 4 (m, n) f64 planes: reserving one
+        # for a reduction output leaves room for a 3-deep k-slab.
+        m = n = 64
+        budget = 4 * m * n * 8
+        free = tune_kernel_tiling(m, n, 100, 8, byte_budget=budget)
+        reserved = tune_kernel_tiling(m, n, 100, 8, byte_budget=budget, reduce_planes=1)
+        assert free.k_chunk == 4
+        assert reserved.k_chunk == 3
+
+    def test_reduce_planes_never_starves_chunk(self):
+        # Even when the reservation eats the whole budget, k_chunk
+        # stays >= 1 so progress is always possible.
+        t = tune_kernel_tiling(64, 64, 16, 8, byte_budget=64 * 64 * 8, reduce_planes=8)
+        assert t.k_chunk == 1
+
+    def test_negative_reduce_planes_rejected(self):
+        with pytest.raises(ValueError):
+            tune_kernel_tiling(8, 8, 8, 8, reduce_planes=-1)
 
     def test_peak_temporary_under_budget(self):
         # The acceptance criterion: at b=256 float64 the tiled kernel's

@@ -1,0 +1,195 @@
+"""Phase-specialized kernel entry points and wrapper composition.
+
+The blocked schedule dispatches three distinct product shapes —
+DiagUpdate (``srgemm_diag``), PanelUpdate (``srgemm_panel``) and the
+MinPlus outer product (``srgemm_outer``) — and every backend may
+specialize each independently.  The numerical contract is unchanged:
+for comparison-⊕ semirings every phase entry of every backend must be
+bit-identical to the reference fused kernel, and the observability /
+verification wrappers (:class:`MeteredBackend`,
+:class:`ChecksummedBackend`) must compose over the phase entries
+transparently, alone or stacked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metered import MeteredBackend
+from repro.obs.metrics import MetricsRegistry
+from repro.semiring import MIN_PLUS, SEMIRINGS, srgemm_diag, srgemm_outer, srgemm_panel
+from repro.semiring.backends import available_backends, get_backend
+from repro.semiring.closure import closure_by_squaring, floyd_warshall
+from repro.verify.backend import ChecksummedBackend
+from repro.verify.runtime import VerifyRuntime
+
+PHASES = ["srgemm_accumulate", "srgemm_diag", "srgemm_panel", "srgemm_outer"]
+
+#: Comparison-⊕ semirings: exact under any association, so bit identity
+#: is required from every backend whose rtol is 0.
+EXACT_SEMIRINGS = sorted(name for name, sr in SEMIRINGS.items() if sr.idempotent_plus)
+
+
+def _operands(m, n, k, semiring, seed=0):
+    rng = np.random.default_rng(seed + 11 * m + 5 * n + k)
+    a = rng.uniform(0.0, 10.0, (m, k))
+    b = rng.uniform(0.0, 10.0, (k, n))
+    c = rng.uniform(0.0, 10.0, (m, n))
+    if semiring.dtype is not None and np.dtype(semiring.dtype).kind == "b":
+        return a > 5, b > 5, c > 5
+    return a, b, c
+
+
+def _sparse_block(n, seed=0):
+    """A weight block with inf entries — the shape real solves feed in."""
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(1.0, 10.0, (n, n))
+    w[rng.uniform(size=(n, n)) < 0.35] = np.inf
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestPhaseEquivalence:
+    @pytest.mark.parametrize("phase", PHASES)
+    @pytest.mark.parametrize("sr_name", EXACT_SEMIRINGS)
+    def test_backend_phase_matrix_matches_reference(self, sr_name, phase):
+        sr = SEMIRINGS[sr_name]
+        a, b, c = _operands(17, 13, 9, sr)
+        expected = get_backend("reference").srgemm_accumulate(c.copy(), a, b, semiring=sr)
+        for name, backend in available_backends().items():
+            got = getattr(backend, phase)(c.copy(), a, b, semiring=sr)
+            if backend.rtol == 0.0:
+                np.testing.assert_array_equal(got, expected, err_msg=f"{name}.{phase}")
+            else:
+                np.testing.assert_allclose(
+                    got, expected, rtol=backend.rtol, err_msg=f"{name}.{phase}"
+                )
+
+    @pytest.mark.parametrize("phase", PHASES)
+    def test_phase_entries_handle_inf(self, phase):
+        # Tropical identity element: unreachable entries must survive
+        # every specialized code path (no fast-math reassociation).
+        w = _sparse_block(24, seed=3)
+        expected = get_backend("reference").srgemm_accumulate(w.copy(), w, w)
+        for name, backend in available_backends().items():
+            if backend.rtol != 0.0:
+                continue
+            got = getattr(backend, phase)(w.copy(), w, w)
+            np.testing.assert_array_equal(got, expected, err_msg=f"{name}.{phase}")
+
+    @pytest.mark.parametrize("phase", PHASES)
+    def test_phase_entries_honor_k_chunk(self, phase):
+        a, b, c = _operands(9, 9, 9, MIN_PLUS)
+        for name, backend in available_backends().items():
+            full = getattr(backend, phase)(c.copy(), a, b)
+            chunked = getattr(backend, phase)(c.copy(), a, b, k_chunk=2)
+            np.testing.assert_array_equal(full, chunked, err_msg=f"{name}.{phase}")
+
+    def test_module_facades_dispatch_backend(self):
+        a, b, c = _operands(8, 8, 8, MIN_PLUS)
+        want = get_backend("reference").srgemm_accumulate(c.copy(), a, b)
+        for fn in (srgemm_diag, srgemm_panel, srgemm_outer):
+            for name in available_backends():
+                got = fn(c.copy(), a, b, backend=name)
+                if get_backend(name).rtol == 0.0:
+                    np.testing.assert_array_equal(got, want, err_msg=f"{fn.__name__}/{name}")
+
+    def test_closure_by_squaring_backend_invariant(self):
+        # The squaring chain dispatches srgemm_diag; every exact backend
+        # must reproduce the reference chain bit-for-bit.  (FW itself
+        # associates path sums differently, so it is only an allclose
+        # oracle here.)
+        w = _sparse_block(20, seed=7)
+        expected = closure_by_squaring(w, backend="reference")
+        np.testing.assert_allclose(expected, floyd_warshall(w), rtol=1e-12)
+        for name, backend in available_backends().items():
+            got = closure_by_squaring(w, backend=name)
+            if backend.rtol == 0.0:
+                np.testing.assert_array_equal(got, expected, err_msg=name)
+            else:
+                np.testing.assert_allclose(got, expected, rtol=backend.rtol, err_msg=name)
+
+
+def _wrap(kind, inner):
+    if kind == "checksummed":
+        return ChecksummedBackend(VerifyRuntime("checksum", inner, semiring=MIN_PLUS))
+    if kind == "metered":
+        return MeteredBackend(MetricsRegistry(), inner)
+    if kind == "stacked":
+        # Metering outside, checksums inside: the composition every
+        # `--verify checksum` run with metrics enabled actually builds.
+        return MeteredBackend(
+            MetricsRegistry(), ChecksummedBackend(VerifyRuntime("checksum", inner))
+        )
+    raise AssertionError(kind)
+
+
+class TestWrapperComposition:
+    @pytest.mark.parametrize("wrapper", ["checksummed", "metered", "stacked"])
+    @pytest.mark.parametrize("phase", PHASES)
+    def test_wrapped_backends_stay_bit_exact(self, wrapper, phase):
+        w = _sparse_block(16, seed=1)
+        a, b, c = _operands(16, 16, 16, MIN_PLUS, seed=2)
+        expected_uv = get_backend("reference").srgemm_accumulate(c.copy(), a, b)
+        expected_inf = get_backend("reference").srgemm_accumulate(w.copy(), w, w)
+        for name, inner in available_backends().items():
+            if inner.rtol != 0.0:
+                continue  # f32 path: allclose-only contract, checked below
+            wrapped = _wrap(wrapper, inner)
+            got = getattr(wrapped, phase)(c.copy(), a, b)
+            np.testing.assert_array_equal(got, expected_uv, err_msg=f"{wrapper}({name}).{phase}")
+            got = getattr(wrapped, phase)(w.copy(), w, w)
+            np.testing.assert_array_equal(got, expected_inf, err_msg=f"{wrapper}({name}).{phase}")
+
+    @pytest.mark.parametrize("wrapper", ["checksummed", "metered", "stacked"])
+    def test_wrapped_f32_stays_allclose(self, wrapper):
+        inner = get_backend("tiled-f32")
+        a, b, c = _operands(16, 16, 16, MIN_PLUS, seed=4)
+        expected = get_backend("reference").srgemm_accumulate(c.copy(), a, b)
+        wrapped = _wrap(wrapper, inner)
+        for phase in PHASES:
+            got = getattr(wrapped, phase)(c.copy(), a, b)
+            np.testing.assert_allclose(got, expected, rtol=inner.rtol, err_msg=phase)
+
+    def test_wrappers_preserve_identity_contract(self):
+        inner = get_backend("tiled")
+        metered = _wrap("metered", inner)
+        checked = _wrap("checksummed", inner)
+        assert metered.name == inner.name  # metering is transparent
+        assert checked.name == f"checksummed({inner.name})"
+        for wrapped in (metered, checked):
+            assert wrapped.compute_dtype == inner.compute_dtype
+            assert wrapped.rtol == inner.rtol
+            assert wrapped.modeled_cost_scale == inner.modeled_cost_scale
+            assert wrapped.byte_budget == inner.byte_budget
+
+    def test_metered_phase_counter_families(self):
+        reg = MetricsRegistry()
+        metered = MeteredBackend(reg, get_backend("reference"))
+        a, b, c = _operands(8, 8, 8, MIN_PLUS)
+        metered.srgemm_accumulate(c.copy(), a, b)
+        metered.srgemm_diag(c.copy(), a, b)
+        metered.srgemm_panel(c.copy(), a, b)
+        metered.srgemm_outer(c.copy(), a, b)
+        metered.srgemm_outer(c.copy(), a, b)
+        flat = reg.flat()
+        # Aggregate family counts every product, fused or phased...
+        assert flat["kernel.srgemm.calls"] == 5
+        # ...phase families additionally split the dispatch.
+        assert flat["kernel.srgemm_diag.calls"] == 1
+        assert flat["kernel.srgemm_panel.calls"] == 1
+        assert flat["kernel.srgemm_outer.calls"] == 2
+        assert flat["kernel.flops"] == 5 * 2.0 * 8 * 8 * 8
+        assert flat["kernel.srgemm_outer.flops"] == 2 * 2.0 * 8 * 8 * 8
+        # Physical wall time accrues (the profile sweep's speed signal).
+        assert flat["kernel.wall_seconds"] > 0.0
+
+    def test_checksummed_phase_entries_verified(self):
+        runtime = VerifyRuntime("checksum", get_backend("tiled"), semiring=MIN_PLUS)
+        wrapped = ChecksummedBackend(runtime)
+        a, b, c = _operands(12, 12, 12, MIN_PLUS, seed=9)
+        for phase in PHASES:
+            getattr(wrapped, phase)(c.copy(), a, b)
+        assert runtime.counters["ops_checked"] == len(PHASES)
+        assert runtime.counters.get("sdc_detected", 0) == 0
