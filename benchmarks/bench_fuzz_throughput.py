@@ -1,0 +1,136 @@
+"""Fuzzer throughput: scenarios/minute and the oracle overhead split.
+
+The fuzzer's value scales with how many scenarios a budget can afford,
+and its cost is dominated by the oracles (a reference solve per new
+graph, a full re-run per determinism double-check), so this bench
+measures both on a fixed-seed in-process session and, separately, the
+sandboxing tax of the isolated (fork-per-scenario) chaos-autopilot
+mode.
+
+Outputs:
+
+* ``benchmarks/results/fuzz_throughput.txt`` - human-readable table;
+* ``benchmarks/results/BENCH_fuzz.json`` - machine-readable
+  scenarios/min for both modes plus per-family oracle seconds.
+
+The shape assertions are deliberately loose (CI machines vary): the
+session must be clean (the seed is one the tier-1 budget also pins),
+in-process throughput must beat a scenario/second, and the oracle
+timings must account for a sane fraction of the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from common import RESULTS_DIR, write_table
+
+from repro.fuzz import Corpus, FuzzSession
+
+SEED = 2026
+BUDGET = 120
+ISOLATED_BUDGET = 24
+ISOLATED_JOBS = 4
+
+
+def run_sessions() -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        inproc = FuzzSession(
+            budget=BUDGET, seed=SEED, corpus_path=f"{tmp}/corpus.jsonl"
+        ).run()
+        replay_wall = 0.0
+        corpus = Corpus(f"{tmp}/corpus.jsonl")
+        import time
+
+        t0 = time.perf_counter()
+        replays = corpus.replay_all()
+        replay_wall = time.perf_counter() - t0
+        isolated = FuzzSession(
+            budget=ISOLATED_BUDGET,
+            seed=SEED,
+            isolate=True,
+            timeout=60.0,
+            jobs=ISOLATED_JOBS,
+        ).run()
+    return {"inproc": inproc, "isolated": isolated,
+            "replays": replays, "replay_wall": replay_wall}
+
+
+def _write_json(out: dict) -> None:
+    inproc, isolated = out["inproc"], out["isolated"]
+    oracle_total = sum(inproc.oracle_seconds.values())
+    payload = {
+        "bench": "fuzz_throughput",
+        "seed": SEED,
+        "in_process": {
+            "budget": inproc.budget,
+            "wall_seconds": inproc.wall_seconds,
+            "scenarios_per_minute": inproc.scenarios_per_minute,
+            "findings": len(inproc.findings),
+            "coverage_cells_hit": inproc.coverage.get("cells_hit", 0),
+        },
+        "isolated": {
+            "budget": isolated.budget,
+            "jobs": ISOLATED_JOBS,
+            "wall_seconds": isolated.wall_seconds,
+            "scenarios_per_minute": isolated.scenarios_per_minute,
+            "timeout_kills": isolated.kills,
+        },
+        "oracle_seconds": dict(inproc.oracle_seconds),
+        "oracle_share_of_wall": oracle_total / inproc.wall_seconds
+        if inproc.wall_seconds
+        else 0.0,
+        "replay": {
+            "scenarios": len(out["replays"]),
+            "wall_seconds": out["replay_wall"],
+            "per_minute": 60.0 * len(out["replays"]) / out["replay_wall"]
+            if out["replay_wall"]
+            else 0.0,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fuzz.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def test_fuzz_throughput(benchmark):
+    out = benchmark.pedantic(run_sessions, rounds=1, iterations=1)
+    inproc, isolated = out["inproc"], out["isolated"]
+
+    # Clean on the pinned seed (the tier-1 200-budget uses the same one).
+    assert inproc.ok, inproc.summary()
+    assert isolated.ok, isolated.summary()
+    assert all(r.bit_exact for r in out["replays"])
+
+    oracle_total = sum(inproc.oracle_seconds.values())
+    rows = [
+        ["in-process", str(inproc.budget), "1",
+         f"{inproc.wall_seconds:.1f}", f"{inproc.scenarios_per_minute:.0f}"],
+        ["isolated (fork)", str(isolated.budget), str(ISOLATED_JOBS),
+         f"{isolated.wall_seconds:.1f}", f"{isolated.scenarios_per_minute:.0f}"],
+        ["corpus replay", str(len(out["replays"])), "1",
+         f"{out['replay_wall']:.1f}",
+         f"{60.0 * len(out['replays']) / out['replay_wall']:.0f}"],
+    ]
+    split = "  ".join(
+        f"{family}={seconds:.2f}s"
+        for family, seconds in sorted(inproc.oracle_seconds.items())
+    )
+    write_table(
+        "fuzz_throughput",
+        f"Fuzzer throughput (seed {SEED}): oracle split {split} "
+        f"({oracle_total / inproc.wall_seconds:.0%} of wall)",
+        ["mode", "scenarios", "jobs", "wall s", "scen/min"],
+        rows,
+    )
+    _write_json(out)
+
+    # Shape: the fuzzer must stay usable - a scenario per second
+    # in-process - and the oracle timings must be sane.
+    assert inproc.scenarios_per_minute > 60, inproc.scenarios_per_minute
+    assert 0 < oracle_total < inproc.wall_seconds
+    assert set(inproc.oracle_seconds) == {
+        "crash", "equivalence", "determinism", "certificate", "perf-model"
+    }

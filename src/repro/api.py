@@ -43,9 +43,15 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence, Union
 
-from .errors import ConfigurationError, SinkError
+from .errors import ConfigurationError, InternalError, ReproError, SinkError
 
-__all__ = ["ObsSinks", "SolveConfig", "solve", "resolve_machine"]
+__all__ = [
+    "ObsSinks",
+    "SolveConfig",
+    "solve",
+    "resolve_machine",
+    "config_to_jsonable",
+]
 
 
 def _check_sink_path(path: str) -> None:
@@ -183,6 +189,39 @@ class SolveConfig:
         return config
 
 
+def config_to_jsonable(config: SolveConfig) -> dict:
+    """Serialize a :class:`SolveConfig` to a plain JSON-able dict.
+
+    This is the replay vocabulary shared by the scenario fuzzer
+    (:mod:`repro.fuzz`) and the :class:`~repro.errors.InternalError`
+    crash dump: a :class:`~repro.machine.spec.MachineSpec` collapses to
+    its preset name, a :class:`~repro.faults.FaultPlan` to its JSON
+    document, and ``ObsSinks`` to its field dict, so the result feeds
+    straight back into :meth:`SolveConfig.replace` /
+    ``repro-apsp fuzz replay``.
+    """
+    from .faults.plan import FaultPlan
+    from .machine.spec import MachineSpec
+
+    out: dict[str, Any] = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if f.name == "machine" and isinstance(value, MachineSpec):
+            value = value.name
+        elif f.name == "fault_plan" and isinstance(value, FaultPlan):
+            value = json.loads(value.to_json())
+        elif f.name == "fault_plan" and isinstance(value, (tuple, list)):
+            value = list(value)
+        elif f.name == "obs":
+            value = dataclasses.asdict(value)
+        elif f.name == "stragglers" and value is not None:
+            value = {str(k): v for k, v in dict(value).items()}
+        elif f.name == "grid" and value is not None:
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
 def resolve_machine(machine: Any):
     """Resolve a machine preset name (or pass a
     :class:`~repro.machine.spec.MachineSpec` through)."""
@@ -238,6 +277,20 @@ def solve(graph, config: Optional[SolveConfig] = None, **overrides):
         pr, pc = config.grid
         grid = ProcessGrid(pr, pc)
 
+    # Anything that escapes the engine without being a ReproError is a
+    # bug, not a modeled failure: wrap it in InternalError (distinct
+    # exit code 14) carrying the offending config as replayable
+    # scenario JSON.  The fuzzer and real users share this path.
+    try:
+        result = _solve_engine(_engine, graph, config, grid)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise InternalError(exc, scenario_json=json.dumps(config_to_jsonable(config))) from exc
+    return result
+
+
+def _solve_engine(_engine, graph, config: SolveConfig, grid):
     result = _engine(
         graph,
         variant=config.variant,

@@ -186,6 +186,70 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--qr", type=int, required=True)
     placement.add_argument("--qc", type=int, required=True)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-driven scenario fuzzer (see docs/FUZZING.md)"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    frun = fuzz_sub.add_parser("run", help="run a budgeted fuzzing session")
+    frun.add_argument("--budget", type=int, default=50, help="number of scenarios")
+    frun.add_argument("--seed", type=int, default=0, help="generator seed")
+    frun.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent sandboxed scenarios (implies --isolate when > 1)",
+    )
+    frun.add_argument(
+        "--corpus", type=str, default=None, metavar="PATH",
+        help="append every scenario+outcome to this JSONL scenario database",
+    )
+    frun.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock timeout (implies --isolate)",
+    )
+    frun.add_argument(
+        "--isolate", action="store_true",
+        help="fork a sandbox child per scenario (hangs/hard crashes become findings)",
+    )
+    frun.add_argument(
+        "--no-autopilot", action="store_true",
+        help="uniform sampling instead of coverage-biased generation",
+    )
+    frun.add_argument(
+        "--no-shrink", action="store_true", help="skip delta-debugging of findings"
+    )
+    frun.add_argument(
+        "--max-findings", type=int, default=0,
+        help="stop after this many findings (0 = exhaust the budget)",
+    )
+    frun.add_argument(
+        "--report-json", type=str, default=None, metavar="PATH",
+        help="write the machine-readable session report",
+    )
+
+    freplay = fuzz_sub.add_parser(
+        "replay", help="re-run a corpus scenario and byte-compare digests"
+    )
+    freplay.add_argument("id", type=str, help="scenario id (or unambiguous prefix)")
+    freplay.add_argument(
+        "--corpus", type=str, required=True, metavar="PATH", help="JSONL scenario database"
+    )
+
+    fcorpus = fuzz_sub.add_parser("corpus", help="inspect or maintain a corpus")
+    fcorpus_sub = fcorpus.add_subparsers(dest="corpus_command", required=True)
+    fls = fcorpus_sub.add_parser("ls", help="list corpus records")
+    fls.add_argument("--corpus", type=str, required=True, metavar="PATH")
+    fls.add_argument(
+        "--findings", action="store_true", help="only records with oracle violations"
+    )
+    fmin = fcorpus_sub.add_parser(
+        "minimize", help="rewrite keeping only findings and minimized repros"
+    )
+    fmin.add_argument("--corpus", type=str, required=True, metavar="PATH")
+    fmin.add_argument(
+        "--output", type=str, default=None, metavar="PATH",
+        help="write here instead of rewriting in place",
+    )
+
     return parser
 
 
@@ -466,40 +530,85 @@ def cmd_placement(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.fuzz_command == "run":
+        return _cmd_fuzz_run(args)
+    if args.fuzz_command == "replay":
+        return _cmd_fuzz_replay(args)
+    return _cmd_fuzz_corpus(args)
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzSession
+
+    isolate = args.isolate or args.jobs > 1 or args.timeout is not None
+    session = FuzzSession(
+        budget=args.budget,
+        seed=args.seed,
+        corpus_path=args.corpus,
+        autopilot=not args.no_autopilot,
+        timeout=args.timeout,
+        isolate=isolate,
+        jobs=args.jobs,
+        shrink_findings=not args.no_shrink,
+        max_findings=args.max_findings,
+        log=lambda msg: print(f"  {msg}"),
+    )
+    report = session.run()
+    print(report.summary())
+    if args.report_json:
+        import json
+
+        with open(args.report_json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.report_json}")
+    # Exit 0 only on a clean sweep: findings fail CI smoke jobs loudly.
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from .fuzz import Corpus
+
+    replay = Corpus(args.corpus).replay(args.id)
+    print(replay.record.scenario.describe())
+    print(
+        f"replay: {replay.outcome.status} (exit {replay.outcome.exit_code}) - "
+        f"{'BIT-EXACT' if replay.bit_exact else 'DIGEST DRIFT'}: {replay.detail}"
+    )
+    return 0 if replay.bit_exact else 1
+
+
+def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
+    from .fuzz import Corpus
+
+    corpus = Corpus(args.corpus)
+    if args.corpus_command == "minimize":
+        kept = corpus.minimize(args.output)
+        print(f"kept {kept} record(s) in {args.output or args.corpus}")
+        return 0
+    shown = 0
+    for record in corpus:
+        if args.findings and not record.is_finding:
+            continue
+        flags = []
+        if record.is_finding:
+            flags.append("FINDING:" + ",".join(sorted({v.family for v in record.violations})))
+        if record.shrunk_from:
+            flags.append(f"shrunk-from:{record.shrunk_from}")
+        status = record.outcome.status if record.outcome else "?"
+        print(f"{record.scenario.describe()} [{status}]" + (f" {' '.join(flags)}" if flags else ""))
+        shown += 1
+    print(f"{shown} record(s)")
+    return 0
+
+
 def _exit_code_for(exc: Exception) -> int:
     """Distinct, stable exit codes per failure class so scripts (and
-    the CI fault matrix) can tell *why* a run failed.  Ordered most
-    specific first - several classes subclass others."""
-    from .errors import (
-        BackendUnavailableError,
-        CheckpointError,
-        CommTimeoutError,
-        ConfigurationError,
-        GpuOutOfMemory,
-        NegativeCycleError,
-        RankFailure,
-        SilentCorruptionError,
-        SinkError,
-        ValidationError,
-        VerificationError,
-    )
+    the CI fault matrix) can tell *why* a run failed.  The table lives
+    in :mod:`repro.errors` (shared with the fuzzer's classifier)."""
+    from .errors import exit_code_for
 
-    for cls, code in (
-        (BackendUnavailableError, 6),  # before its base ConfigurationError
-        (SinkError, 12),  # before its base ConfigurationError
-        (ConfigurationError, 2),
-        (VerificationError, 11),  # before its base ValidationError
-        (ValidationError, 3),
-        (NegativeCycleError, 4),
-        (GpuOutOfMemory, 5),
-        (CommTimeoutError, 7),
-        (RankFailure, 8),
-        (CheckpointError, 9),
-        (SilentCorruptionError, 10),
-    ):
-        if isinstance(exc, cls):
-            return code
-    return 1  # any other ReproError
+    return exit_code_for(exc)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -514,6 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "backends": cmd_backends,
         "placement": cmd_placement,
         "analyze": cmd_analyze,
+        "fuzz": cmd_fuzz,
     }
     try:
         return handlers[args.command](args)

@@ -449,7 +449,13 @@ def apsp(
 
     var_name = var.value
     if run_config is not config and run_config.offload:
-        var_name = f"{var.value}->offload"  # OOM degradation happened
+        # OOM degradation happened; the schedule shape is preserved, so
+        # a pipelined run lands on offload-pipelined (see
+        # _degrade_to_offload).
+        degraded_to = (
+            Variant.OFFLOAD_PIPELINED if run_config.pipelined else Variant.OFFLOAD
+        )
+        var_name = f"{var.value}->{degraded_to.value}"
     report = PerfReport.from_run(
         var_name, n, cost, placement, elapsed, mpi, cluster,
         tracer if trace else None,
@@ -677,9 +683,19 @@ def _degrade_to_offload(
 ) -> SolverConfig:
     """Switch a fault-armed run to the offload (Me-ParallelFw) variant
     after GpuOutOfMemory; re-raises the OOM when the configuration
-    cannot run under offload (track_paths / exploit_sparsity)."""
+    cannot run under offload (track_paths / exploit_sparsity).
+
+    The schedule shape is preserved: a pipelined run degrades to
+    ``offload-pipelined``, not ``offload``.  Look-ahead checkpoints
+    already carry the next round's diag/panel updates (the resume
+    prologue of :class:`~repro.core.schedule.LookaheadSchedule` relies
+    on it), so replaying one under the bulk-sync schedule re-applies
+    those updates and re-derives minima in a different association
+    order - breaking bit-exact replay at the ULP level."""
     try:
-        degraded = variant_config(Variant.OFFLOAD, base)
+        degraded = variant_config(
+            Variant.OFFLOAD_PIPELINED if base.pipelined else Variant.OFFLOAD, base
+        )
     except ConfigurationError:
         raise oom_exc from None
     injector.count("faults.oom_degraded")

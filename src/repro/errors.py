@@ -1,7 +1,8 @@
 """Exception hierarchy for the :mod:`repro` package.
 
-Each class maps to a stable CLI exit code (``repro.cli._exit_code_for``)
-so scripts and the CI matrices can tell *why* a run failed:
+Each class maps to a stable CLI exit code (:func:`exit_code_for`, also
+used by the scenario fuzzer's outcome classifier) so scripts, the CI
+matrices, and the fuzz corpus can tell *why* a run failed:
 
 =========================  ====
 class                      code
@@ -18,7 +19,16 @@ CheckpointError               9
 SilentCorruptionError        10
 VerificationError            11
 SinkError                    12
+FaultPlanError               13
+InternalError                14
 =========================  ====
+
+:class:`InternalError` is the catch-all for *unexpected* exceptions
+escaping :func:`repro.solve` - anything that is not already a
+:class:`ReproError` is a bug, and the wrapper dumps the offending
+:class:`~repro.api.SolveConfig` as replayable scenario JSON so the
+failure can be reproduced with one call (the fuzzer and real users
+share this path).
 """
 
 from __future__ import annotations
@@ -36,6 +46,9 @@ __all__ = [
     "SilentCorruptionError",
     "VerificationError",
     "SinkError",
+    "FaultPlanError",
+    "InternalError",
+    "exit_code_for",
 ]
 
 
@@ -182,3 +195,61 @@ class SinkError(ConfigurationError):
         self.path = path
         self.reason = reason
         super().__init__(f"cannot write to sink {path!r}: {reason}")
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault plan (CLI spec string, JSON document, or programmatic
+    dataclass) is malformed: an unknown fault kind or key, a value of
+    the wrong type, or a value outside its legal range.
+
+    Raised eagerly at parse/construction time so a typo'd field can
+    never silently disarm a chaos experiment - the plan either means
+    exactly what it says or the run refuses to start."""
+
+
+class InternalError(ReproError):
+    """An *unexpected* exception escaped the solver - i.e. a bug, not a
+    modeled failure.  The wrapper in :func:`repro.solve` attaches the
+    offending configuration as replayable scenario JSON
+    (``scenario_json``) so the exact run can be reproduced (``repro-apsp
+    fuzz replay`` accepts the same document), and chains the original
+    exception as ``__cause__``."""
+
+    def __init__(self, original: BaseException, scenario_json: "str | None" = None):
+        self.original_type = type(original).__name__
+        self.scenario_json = scenario_json
+        message = (
+            f"unexpected {self.original_type} escaped the solver: {original}"
+        )
+        if scenario_json is not None:
+            message += f"\nreplayable scenario: {scenario_json}"
+        super().__init__(message)
+
+
+#: (class, code) pairs ordered most-specific first - several classes
+#: subclass others, so order is significant for the isinstance scan.
+_EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
+    (BackendUnavailableError, 6),  # before its base ConfigurationError
+    (SinkError, 12),  # before its base ConfigurationError
+    (FaultPlanError, 13),  # before its base ConfigurationError
+    (ConfigurationError, 2),
+    (VerificationError, 11),  # before its base ValidationError
+    (ValidationError, 3),
+    (NegativeCycleError, 4),
+    (GpuOutOfMemory, 5),
+    (CommTimeoutError, 7),
+    (RankFailure, 8),
+    (CheckpointError, 9),
+    (SilentCorruptionError, 10),
+    (InternalError, 14),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Distinct, stable exit code per failure class (the table in the
+    module docstring) so scripts, the CI matrices, and the fuzzer's
+    outcome classifier can tell *why* a run failed."""
+    for cls, code in _EXIT_CODE_TABLE:
+        if isinstance(exc, cls):
+            return code
+    return 1  # any other ReproError

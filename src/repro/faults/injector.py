@@ -282,6 +282,9 @@ class FaultInjector:
                 key = f.block
             else:
                 keys = sorted(state.blocks)
+                if not keys:  # rank owns no blocks (world larger than grid)
+                    self.count("faults.memflips_missed")
+                    continue
                 key = keys[int(self.rng.integers(len(keys)))]
             if self.flip_entries(state.blocks[key], f.bits):
                 self.count("faults.block_flips")
@@ -297,6 +300,9 @@ class FaultInjector:
                 continue
             snap = store._blocks[epochs[-1]][rank]
             keys = sorted(snap)
+            if not keys:  # blockless rank snapshots an empty payload
+                self.count("faults.memflips_missed")
+                continue
             key = keys[int(self.rng.integers(len(keys)))]
             if self.flip_entries(snap[key], f.bits):
                 self.count("faults.ckpt_flips")

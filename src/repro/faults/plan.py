@@ -39,7 +39,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
-from ..errors import ConfigurationError
+from ..errors import FaultPlanError
 
 __all__ = [
     "MessageFault",
@@ -57,6 +57,39 @@ __all__ = [
 #: :meth:`FaultPlan.to_json`); consulted when the driver gets no
 #: explicit plan.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+_TYPE_CHECKS = {
+    "int": (_is_int, "an integer"),
+    "number": (_is_num, "a number"),
+    "bool": (lambda v: isinstance(v, bool), "a boolean"),
+    "str": (lambda v: isinstance(v, str), "a string"),
+}
+
+
+def _typed(owner: str, name: str, value: Any, expect: str, optional: bool = False) -> None:
+    """Raise :class:`FaultPlanError` unless ``value`` has the expected
+    type.  Spec values arrive through :func:`_coerce`, which falls back
+    to the raw string - so ``crash:rank=two`` must die here with a
+    message naming the field, not sort-of-work or explode downstream."""
+    if value is None:
+        if optional:
+            return
+        raise FaultPlanError(f"{owner} field {name!r} is required")
+    check, describe = _TYPE_CHECKS[expect]
+    if not check(value):
+        raise FaultPlanError(
+            f"{owner} field {name!r} must be {describe}, "
+            f"got {value!r} ({type(value).__name__})"
+        )
 
 
 @dataclass(frozen=True)
@@ -81,13 +114,19 @@ class MessageFault:
 
     def __post_init__(self):
         if self.kind not in ("drop", "dup", "corrupt"):
-            raise ConfigurationError(f"unknown message-fault kind {self.kind!r}")
+            raise FaultPlanError(f"unknown message-fault kind {self.kind!r}")
+        for name in ("src", "dst", "tag", "nth"):
+            _typed("message fault", name, getattr(self, name), "int", optional=True)
+        _typed("message fault", "p", self.p, "number")
+        _typed("message fault", "bits", self.bits, "int")
         if self.nth is not None and self.nth < 1:
-            raise ConfigurationError(f"nth is 1-based, got {self.nth}")
+            raise FaultPlanError(f"nth is 1-based, got {self.nth}")
         if not 0.0 <= self.p <= 1.0:
-            raise ConfigurationError(f"p must be in [0, 1], got {self.p}")
+            raise FaultPlanError(f"p must be in [0, 1], got {self.p}")
         if self.nth is None and self.p == 0.0:
-            raise ConfigurationError(f"{self.kind} fault needs nth=... or p=...")
+            raise FaultPlanError(f"{self.kind} fault needs nth=... or p=...")
+        if self.bits < 1:
+            raise FaultPlanError(f"corrupt bits must be >= 1, got {self.bits}")
 
 
 @dataclass(frozen=True)
@@ -102,10 +141,18 @@ class NicWindow:
     t1: float = float("inf")
 
     def __post_init__(self):
+        _typed("nic window", "node", self.node, "int")
+        _typed("nic window", "factor", self.factor, "number")
+        _typed("nic window", "t0", self.t0, "number")
+        _typed("nic window", "t1", self.t1, "number")
+        if self.node < 0:
+            raise FaultPlanError(f"nic node must be >= 0, got {self.node}")
         if self.factor <= 0:
-            raise ConfigurationError(f"nic factor must be positive, got {self.factor}")
+            raise FaultPlanError(f"nic factor must be positive, got {self.factor}")
+        if self.t0 < 0:
+            raise FaultPlanError(f"nic t0 must be >= 0, got {self.t0}")
         if self.t1 < self.t0:
-            raise ConfigurationError(f"empty nic window [{self.t0}, {self.t1}]")
+            raise FaultPlanError(f"empty nic window [{self.t0}, {self.t1}]")
 
 
 @dataclass(frozen=True)
@@ -117,8 +164,12 @@ class ComputeStraggler:
     factor: float
 
     def __post_init__(self):
+        _typed("straggler", "rank", self.rank, "int")
+        _typed("straggler", "factor", self.factor, "number")
+        if self.rank < 0:
+            raise FaultPlanError(f"straggler rank must be >= 0, got {self.rank}")
         if self.factor <= 0:
-            raise ConfigurationError(f"straggler factor must be positive, got {self.factor}")
+            raise FaultPlanError(f"straggler factor must be positive, got {self.factor}")
 
 
 @dataclass(frozen=True)
@@ -130,8 +181,12 @@ class RankCrash:
     at: float
 
     def __post_init__(self):
+        _typed("crash", "rank", self.rank, "int")
+        _typed("crash", "at", self.at, "number")
+        if self.rank < 0:
+            raise FaultPlanError(f"crash rank must be >= 0, got {self.rank}")
         if self.at < 0:
-            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+            raise FaultPlanError(f"crash time must be >= 0, got {self.at}")
 
 
 @dataclass(frozen=True)
@@ -142,6 +197,14 @@ class OomFault:
 
     rank: int
     k: int
+
+    def __post_init__(self):
+        _typed("oom fault", "rank", self.rank, "int")
+        _typed("oom fault", "k", self.k, "int")
+        if self.rank < 0:
+            raise FaultPlanError(f"oom rank must be >= 0, got {self.rank}")
+        if self.k < 0:
+            raise FaultPlanError(f"oom iteration k must be >= 0, got {self.k}")
 
 
 @dataclass(frozen=True)
@@ -175,12 +238,31 @@ class MemoryFault:
     block: Optional[tuple[int, int]] = None
 
     def __post_init__(self):
+        _typed("memflip", "rank", self.rank, "int")
+        _typed("memflip", "k", self.k, "int")
+        _typed("memflip", "target", self.target, "str")
+        _typed("memflip", "bits", self.bits, "int")
+        if self.rank < 0:
+            raise FaultPlanError(f"memflip rank must be >= 0, got {self.rank}")
+        if self.k < 0:
+            raise FaultPlanError(f"memflip iteration k must be >= 0, got {self.k}")
         if self.target not in ("block", "checkpoint", "oog"):
-            raise ConfigurationError(f"unknown memflip target {self.target!r}")
+            raise FaultPlanError(f"unknown memflip target {self.target!r}")
         if self.bits < 1:
-            raise ConfigurationError(f"memflip bits must be >= 1, got {self.bits}")
+            raise FaultPlanError(f"memflip bits must be >= 1, got {self.bits}")
         if self.block is not None and self.target != "block":
-            raise ConfigurationError("memflip i=/j= only apply to target=block")
+            raise FaultPlanError("memflip i=/j= only apply to target=block")
+        if self.block is not None:
+            if (
+                not isinstance(self.block, tuple)
+                or len(self.block) != 2
+                or not all(_is_int(v) for v in self.block)
+            ):
+                raise FaultPlanError(
+                    f"memflip block must be an (i, j) pair of integers, got {self.block!r}"
+                )
+            if any(v < 0 for v in self.block):
+                raise FaultPlanError(f"memflip block indices must be >= 0, got {self.block}")
 
 
 @dataclass(frozen=True)
@@ -219,18 +301,27 @@ class FaultPlan:
     oom_degrade: bool = True
 
     def __post_init__(self):
+        _typed("fault plan", "seed", self.seed, "int")
+        _typed("fault plan", "recv_timeout", self.recv_timeout, "number", optional=True)
+        _typed("fault plan", "max_retries", self.max_retries, "int")
+        _typed("fault plan", "backoff", self.backoff, "number")
+        _typed(
+            "fault plan", "checkpoint_interval", self.checkpoint_interval, "int", optional=True
+        )
+        _typed("fault plan", "max_restarts", self.max_restarts, "int")
+        _typed("fault plan", "oom_degrade", self.oom_degrade, "bool")
         if self.recv_timeout is not None and self.recv_timeout <= 0:
-            raise ConfigurationError(f"recv_timeout must be positive, got {self.recv_timeout}")
+            raise FaultPlanError(f"recv_timeout must be positive, got {self.recv_timeout}")
         if self.max_retries < 0:
-            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+            raise FaultPlanError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.backoff < 1.0:
-            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+            raise FaultPlanError(f"backoff must be >= 1, got {self.backoff}")
         if self.checkpoint_interval is not None and self.checkpoint_interval < 0:
-            raise ConfigurationError(
+            raise FaultPlanError(
                 f"checkpoint_interval must be >= 0, got {self.checkpoint_interval}"
             )
         if self.max_restarts < 0:
-            raise ConfigurationError(f"max_restarts must be >= 0, got {self.max_restarts}")
+            raise FaultPlanError(f"max_restarts must be >= 0, got {self.max_restarts}")
 
     # -- queries -----------------------------------------------------------
     def armed(self) -> bool:
@@ -281,7 +372,7 @@ class FaultPlan:
                     )
                     i, j = picked.pop("i", None), picked.pop("j", None)
                     if (i is None) != (j is None):
-                        raise ConfigurationError(
+                        raise FaultPlanError(
                             f"memflip spec {spec!r} needs both i= and j= or neither"
                         )
                     if i is not None:
@@ -298,12 +389,12 @@ class FaultPlan:
                     }
                     for key, value in kv.items():
                         if key not in rename:
-                            raise ConfigurationError(f"unknown policy key {key!r} in {spec!r}")
+                            raise FaultPlanError(f"unknown policy key {key!r} in {spec!r}")
                         policy[rename[key]] = value
                 else:
-                    raise ConfigurationError(f"unknown fault kind {kind!r} in {spec!r}")
+                    raise FaultPlanError(f"unknown fault kind {kind!r} in {spec!r}")
             except TypeError as exc:  # unexpected keyword from _pick
-                raise ConfigurationError(f"bad fault spec {spec!r}: {exc}") from None
+                raise FaultPlanError(f"bad fault spec {spec!r}: {exc}") from None
         return cls(
             message_faults=tuple(msg),
             nic_windows=tuple(nic),
@@ -330,29 +421,61 @@ class FaultPlan:
         try:
             raw = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"invalid fault-plan JSON: {exc}") from None
+            raise FaultPlanError(f"invalid fault-plan JSON: {exc}") from None
         if not isinstance(raw, dict):
-            raise ConfigurationError("fault-plan JSON must be an object")
+            raise FaultPlanError("fault-plan JSON must be an object")
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(raw) - known
         if unknown:
-            raise ConfigurationError(f"unknown fault-plan keys {sorted(unknown)}")
+            raise FaultPlanError(
+                f"unknown fault-plan keys {sorted(unknown)}; known: {sorted(known)}"
+            )
         kwargs: dict[str, Any] = dict(raw)
         kwargs["message_faults"] = tuple(
-            MessageFault(**m) for m in raw.get("message_faults", ())
+            _nested(MessageFault, m, "message_faults") for m in raw.get("message_faults", ())
         )
         kwargs["nic_windows"] = tuple(
-            NicWindow(**{**w, "t1": float("inf") if w.get("t1") is None else w["t1"]})
+            _nested(
+                NicWindow,
+                {**w, "t1": float("inf") if w.get("t1", None) is None else w["t1"]}
+                if isinstance(w, dict)
+                else w,
+                "nic_windows",
+            )
             for w in raw.get("nic_windows", ())
         )
-        kwargs["stragglers"] = tuple(ComputeStraggler(**s) for s in raw.get("stragglers", ()))
-        kwargs["crashes"] = tuple(RankCrash(**c) for c in raw.get("crashes", ()))
-        kwargs["ooms"] = tuple(OomFault(**o) for o in raw.get("ooms", ()))
+        kwargs["stragglers"] = tuple(
+            _nested(ComputeStraggler, s, "stragglers") for s in raw.get("stragglers", ())
+        )
+        kwargs["crashes"] = tuple(_nested(RankCrash, c, "crashes") for c in raw.get("crashes", ()))
+        kwargs["ooms"] = tuple(_nested(OomFault, o, "ooms") for o in raw.get("ooms", ()))
         kwargs["memory_faults"] = tuple(
-            MemoryFault(**{**m, "block": tuple(m["block"]) if m.get("block") else None})
+            _nested(
+                MemoryFault,
+                {**m, "block": tuple(m["block"]) if m.get("block") else None}
+                if isinstance(m, dict)
+                else m,
+                "memory_faults",
+            )
             for m in raw.get("memory_faults", ())
         )
         return cls(**kwargs)
+
+
+def _nested(cls, raw: Any, where: str):
+    """Construct a nested fault dataclass from decoded JSON, rejecting
+    non-objects and unknown keys with a message that names the list the
+    entry came from (``TypeError`` sprays a constructor signature;
+    chaos configs deserve better)."""
+    if not isinstance(raw, dict):
+        raise FaultPlanError(f"each entry of {where!r} must be a JSON object, got {raw!r}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(raw) - known
+    if unknown:
+        raise FaultPlanError(
+            f"unknown keys {sorted(unknown)} in {where!r} entry; known: {sorted(known)}"
+        )
+    return cls(**raw)
 
 
 def _parse_kv(body: str, spec: str) -> dict[str, Any]:
@@ -363,7 +486,7 @@ def _parse_kv(body: str, spec: str) -> dict[str, Any]:
     for item in body.split(","):
         key, sep, value = item.partition("=")
         if not sep:
-            raise ConfigurationError(f"expected key=value, got {item!r} in {spec!r}")
+            raise FaultPlanError(f"expected key=value, got {item!r} in {spec!r}")
         out[key.strip()] = _coerce(value.strip())
     return out
 
@@ -389,10 +512,10 @@ def _pick(
 ) -> dict[str, Any]:
     unknown = set(kv) - set(allowed)
     if unknown:
-        raise ConfigurationError(f"unknown keys {sorted(unknown)} in fault spec {spec!r}")
+        raise FaultPlanError(f"unknown keys {sorted(unknown)} in fault spec {spec!r}")
     missing = [k for k in required if k not in kv]
     if missing:
-        raise ConfigurationError(f"fault spec {spec!r} is missing {missing}")
+        raise FaultPlanError(f"fault spec {spec!r} is missing {missing}")
     return kv
 
 

@@ -1,0 +1,51 @@
+"""Coverage-driven scenario fuzzer and chaos autopilot.
+
+This package turns the repo's whole configuration space - graph
+generators, machine specs, schedule variants, kernel backends, fault
+plans, verification modes, observability sinks - into a fuzzable
+surface with correctness oracles on top (see docs/FUZZING.md):
+
+* :mod:`~repro.fuzz.scenario` - the content-addressed unit of work;
+* :mod:`~repro.fuzz.generator` - seeded, constraint-aware generation;
+* :mod:`~repro.fuzz.executor` - sandboxed execution and outcome
+  classification on the stable exit-code vocabulary;
+* :mod:`~repro.fuzz.oracles` - equivalence / determinism /
+  certificate / perf-model oracle families;
+* :mod:`~repro.fuzz.shrink` - delta-debugging minimization;
+* :mod:`~repro.fuzz.corpus` - the replayable JSONL scenario database;
+* :mod:`~repro.fuzz.autopilot` - the budgeted session driving it all,
+  with MetricsRegistry-backed coverage steering.
+
+CLI surface: ``repro-apsp fuzz run|replay|corpus``.
+"""
+
+from .autopilot import CoverageMap, Finding, FuzzReport, FuzzSession
+from .corpus import Corpus, CorpusRecord, ReplayReport
+from .executor import Outcome, ScenarioExecutor, run_scenario
+from .generator import GeneratorConfig, ScenarioGenerator, bit_exact_backends
+from .oracles import OracleSuite, OracleViolation
+from .scenario import GRAPH_KINDS, GraphSpec, Scenario
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "GraphSpec",
+    "Scenario",
+    "GRAPH_KINDS",
+    "GeneratorConfig",
+    "ScenarioGenerator",
+    "bit_exact_backends",
+    "Outcome",
+    "ScenarioExecutor",
+    "run_scenario",
+    "OracleSuite",
+    "OracleViolation",
+    "ShrinkResult",
+    "shrink",
+    "Corpus",
+    "CorpusRecord",
+    "ReplayReport",
+    "CoverageMap",
+    "Finding",
+    "FuzzReport",
+    "FuzzSession",
+]

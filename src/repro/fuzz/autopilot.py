@@ -1,0 +1,337 @@
+"""The chaos autopilot: budget-driven fuzzing sessions.
+
+:class:`FuzzSession` wires the whole tentpole together: a seeded
+:class:`~repro.fuzz.generator.ScenarioGenerator` draws scenarios, a
+:class:`~repro.fuzz.executor.ScenarioExecutor` runs each one (optionally
+sandboxed with a wall-clock timeout), an
+:class:`~repro.fuzz.oracles.OracleSuite` judges the outcome, findings
+are delta-debugged down to minimal repros
+(:func:`~repro.fuzz.shrink.shrink`), and every scenario is appended to
+the replayable JSONL corpus with its outcome digest.
+
+Coverage accounting lives in :class:`CoverageMap`, backed by the same
+:class:`~repro.obs.MetricsRegistry` the solver's observability layer
+uses - `fuzz.coverage.<variant>.<fault-class>.<verify>` counters plus
+session counters (`fuzz.scenarios`, `fuzz.findings`, ...), all
+exportable through the registry's standard JSON snapshot.  In
+``autopilot`` mode the generator draws against this map, biasing toward
+under-covered cells at 1/(1+hits) weight.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..obs import MetricsRegistry
+from .corpus import Corpus, CorpusRecord
+from .executor import Outcome, ScenarioExecutor, run_scenario
+from .generator import GeneratorConfig, ScenarioGenerator
+from .oracles import OracleSuite, OracleViolation
+from .scenario import Scenario
+from .shrink import ShrinkResult, shrink
+
+__all__ = ["CoverageMap", "Finding", "FuzzReport", "FuzzSession"]
+
+#: Families the shrinker can meaningfully reproduce in isolation; a
+#: perf-model violation depends on the session's calibration pool, so
+#: its repro is the corpus record itself.
+SHRINKABLE_FAMILIES = ("crash", "equivalence", "determinism", "certificate")
+
+
+class CoverageMap:
+    """(variant x fault-class x verify-mode) hit counters.
+
+    Backed by a :class:`~repro.obs.MetricsRegistry` so the coverage
+    snapshot rides the existing metrics export format (and tests can
+    assert on it like any other instrumented counter).
+    """
+
+    PREFIX = "fuzz.coverage"
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+
+    @classmethod
+    def _cell(cls, variant: str, fault_class: str, verify: str) -> str:
+        return f"{cls.PREFIX}.{variant}.{fault_class}.{verify}"
+
+    def record(self, scenario: Scenario) -> None:
+        for fault_class in scenario.fault_classes():
+            self.registry.counter(
+                self._cell(scenario.variant, fault_class, scenario.verify)
+            ).inc()
+
+    def hits(self, variant: str, fault_class: str, verify: str) -> float:
+        return self.registry.value(self._cell(variant, fault_class, verify))
+
+    def cells(self) -> dict[tuple[str, str, str], float]:
+        out: dict[tuple[str, str, str], float] = {}
+        for name in self.registry.names():
+            if not name.startswith(self.PREFIX + "."):
+                continue
+            parts = name[len(self.PREFIX) + 1 :].rsplit(".", 2)
+            if len(parts) == 3:
+                out[tuple(parts)] = self.registry.value(name)
+        return out
+
+    def summary(self) -> dict:
+        cells = self.cells()
+        return {
+            "cells_hit": len(cells),
+            "hits": sum(cells.values()),
+            "max_hits": max(cells.values(), default=0),
+        }
+
+
+@dataclass
+class Finding:
+    """One oracle violation, with its minimized repro when available."""
+
+    scenario: Scenario
+    outcome: Outcome
+    violations: list  # list[OracleViolation]
+    shrunk: Optional[ShrinkResult] = None
+
+    @property
+    def families(self) -> tuple[str, ...]:
+        return tuple(sorted({v.family for v in self.violations}))
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_id": self.scenario.scenario_id,
+            "families": list(self.families),
+            "violations": [v.to_dict() for v in self.violations],
+            "minimal_scenario_id": self.shrunk.scenario.scenario_id
+            if self.shrunk
+            else None,
+            "shrink_evals": self.shrunk.evals if self.shrunk else 0,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """What a fuzzing session did, machine- and human-readable."""
+
+    seed: int
+    budget: int
+    executed: int = 0
+    findings: list = field(default_factory=list)  # list[Finding]
+    wall_seconds: float = 0.0
+    kills: int = 0
+    coverage: dict = field(default_factory=dict)
+    oracle_seconds: dict = field(default_factory=dict)
+    corpus_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def scenarios_per_minute(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return 60.0 * self.executed / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "executed": self.executed,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "wall_seconds": self.wall_seconds,
+            "scenarios_per_minute": self.scenarios_per_minute,
+            "kills": self.kills,
+            "coverage": self.coverage,
+            "oracle_seconds": self.oracle_seconds,
+            "corpus_path": self.corpus_path,
+        }
+
+    def summary(self) -> str:
+        verdict = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        lines = [
+            f"fuzz: {self.executed}/{self.budget} scenarios (seed {self.seed}) "
+            f"in {self.wall_seconds:.1f}s "
+            f"({self.scenarios_per_minute:.0f}/min) - {verdict}",
+            f"coverage: {self.coverage.get('cells_hit', 0)} cells hit, "
+            f"{self.kills} timeout kill(s)",
+        ]
+        for f in self.findings:
+            lines.append(
+                f"  FINDING {f.scenario.scenario_id} [{','.join(f.families)}]: "
+                + (f.violations[0].detail if f.violations else "")
+            )
+            if f.shrunk is not None:
+                lines.append(
+                    f"    minimal repro {f.shrunk.scenario.scenario_id} "
+                    f"({f.shrunk.scenario.describe().partition(': ')[2]}) "
+                    f"after {f.shrunk.evals} shrink eval(s)"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzSession:
+    """One budgeted fuzzing run; ``run()`` returns a :class:`FuzzReport`."""
+
+    budget: int = 50
+    seed: int = 0
+    corpus_path: Optional[str] = None
+    #: Bias generation toward under-covered coverage cells.
+    autopilot: bool = True
+    #: Fork a sandbox child per scenario with this wall-clock timeout;
+    #: None runs in-process (faster; CI smoke uses a small timeout).
+    timeout: Optional[float] = None
+    isolate: bool = False
+    #: Concurrent sandboxed scenarios (only >1 when isolating).
+    jobs: int = 1
+    generator_config: GeneratorConfig = field(default_factory=GeneratorConfig)
+    #: Shrink findings to minimal repros (delta debugging).
+    shrink_findings: bool = True
+    shrink_max_evals: int = 120
+    #: Stop after this many findings (0 = exhaust the budget).
+    max_findings: int = 0
+    log: Optional[Callable[[str], None]] = None
+    registry: Optional[MetricsRegistry] = None
+
+    def __post_init__(self):
+        self.registry = self.registry or MetricsRegistry()
+        self.coverage = CoverageMap(self.registry)
+        self.generator = ScenarioGenerator(
+            seed=self.seed,
+            config=self.generator_config,
+            coverage=self.coverage if self.autopilot else None,
+        )
+        self.executor = ScenarioExecutor(timeout=self.timeout, isolate=self.isolate)
+        self.oracles = OracleSuite()
+        self.corpus = Corpus(self.corpus_path) if self.corpus_path else None
+
+    def _say(self, msg: str) -> None:
+        if self.log is not None:
+            self.log(msg)
+
+    # -- the loop ----------------------------------------------------------
+    def run(self) -> FuzzReport:
+        report = FuzzReport(seed=self.seed, budget=self.budget)
+        report.corpus_path = self.corpus_path
+        t0 = time.perf_counter()
+        pending: list[tuple[int, Scenario]] = []
+        index = 0
+        while index < self.budget or pending:
+            # Draw a batch (jobs-wide when sandboxing in parallel).
+            width = max(1, self.jobs) if self.isolate else 1
+            while index < self.budget and len(pending) < width:
+                pending.append((index, self.generator.draw()))
+                index += 1
+            batch, pending = pending, []
+            outcomes = self._run_batch([s for _, s in batch])
+            for (draw_index, scenario), outcome in zip(batch, outcomes):
+                report.executed += 1
+                self.coverage.record(scenario)
+                self.registry.counter("fuzz.scenarios").inc()
+                violations = self.oracles.check(scenario, outcome)
+                self._record(scenario, outcome, violations, draw_index)
+                if violations:
+                    finding = self._handle_finding(scenario, outcome, violations)
+                    report.findings.append(finding)
+                    self.registry.counter("fuzz.findings").inc()
+                    if self.max_findings and len(report.findings) >= self.max_findings:
+                        pending = []
+                        index = self.budget
+                        break
+        report.wall_seconds = time.perf_counter() - t0
+        report.kills = self.executor.kills
+        report.coverage = self.coverage.summary()
+        report.oracle_seconds = dict(self.oracles.timings)
+        self.registry.gauge("fuzz.wall_seconds").set(report.wall_seconds)
+        return report
+
+    def _run_batch(self, scenarios: list[Scenario]) -> list[Outcome]:
+        if len(scenarios) <= 1 or not self.isolate:
+            return [self.executor.run(s) for s in scenarios]
+        from concurrent.futures import ThreadPoolExecutor
+
+        # Each isolated run blocks a thread on its sandbox child's pipe,
+        # so plain threads give process-level parallelism here.
+        with ThreadPoolExecutor(max_workers=len(scenarios)) as pool:
+            return list(pool.map(self.executor.run, scenarios))
+
+    def _record(
+        self,
+        scenario: Scenario,
+        outcome: Outcome,
+        violations: list,
+        draw_index: int,
+        **extra,
+    ) -> None:
+        if self.corpus is None:
+            return
+        self.corpus.append(
+            CorpusRecord(
+                scenario=scenario,
+                outcome=outcome,
+                violations=list(violations),
+                gen_seed=self.seed,
+                gen_index=draw_index,
+                **extra,
+            )
+        )
+
+    # -- findings ----------------------------------------------------------
+    def _handle_finding(
+        self, scenario: Scenario, outcome: Outcome, violations: list
+    ) -> Finding:
+        families = {v.family for v in violations}
+        self._say(
+            f"finding {scenario.scenario_id} [{','.join(sorted(families))}]: "
+            + violations[0].detail
+        )
+        finding = Finding(scenario=scenario, outcome=outcome, violations=violations)
+        shrinkable = families & set(SHRINKABLE_FAMILIES)
+        if self.shrink_findings and shrinkable:
+            finding.shrunk = self.shrink_finding(scenario, shrinkable)
+            minimal = finding.shrunk.scenario
+            if self.corpus is not None and minimal != scenario:
+                min_outcome = run_scenario(minimal)
+                min_violations = self._isolated_check(minimal, min_outcome)
+                self.corpus.append(
+                    CorpusRecord(
+                        scenario=minimal,
+                        outcome=min_outcome,
+                        violations=min_violations,
+                        shrunk_from=scenario.scenario_id,
+                        note="minimized repro",
+                    )
+                )
+        return finding
+
+    def _isolated_check(
+        self, scenario: Scenario, outcome: Outcome
+    ) -> list[OracleViolation]:
+        """Judge one scenario with a fresh suite sharing the session's
+        reference-digest cache (the session pools/timings stay clean)."""
+        suite = OracleSuite()
+        suite._ref_cache = self.oracles._ref_cache
+        return suite.check(scenario, outcome)
+
+    def shrink_finding(self, scenario: Scenario, families: set) -> ShrinkResult:
+        """Delta-debug a failing scenario; the predicate demands the
+        candidate still violate at least one of the same families."""
+        target = families & set(SHRINKABLE_FAMILIES)
+
+        def still_fails(candidate: Scenario) -> bool:
+            outcome = run_scenario(candidate)
+            got = {v.family for v in self._isolated_check(candidate, outcome)}
+            return bool(got & target)
+
+        self._say(f"shrinking {scenario.scenario_id} ...")
+        result = shrink(
+            scenario,
+            still_fails,
+            max_evals=self.shrink_max_evals,
+            log=self.log,
+        )
+        self.registry.counter("fuzz.shrink_evals").inc(result.evals)
+        return result

@@ -1,0 +1,208 @@
+"""Replayable scenario database (JSONL, one record per line).
+
+Every fuzzed scenario can be appended here with its outcome and any
+oracle violations; findings additionally carry their shrunk minimal
+repro.  Records embed the *entire* scenario (graph seed, fault specs,
+fault seed, backend, ...) so replay needs nothing but the record:
+
+    repro-apsp fuzz replay <scenario-id>
+
+re-runs the stored tuple and byte-compares the outcome digest against
+the recorded one.  The checked-in regression corpus
+(``tests/data/fuzz_regressions.jsonl``) is replayed the same way by a
+tier-1 test, which is how past findings stay fixed.
+
+The file format is append-only JSONL - merge-friendly, greppable, and
+streamable.  Record identity is the scenario's content-addressed id, so
+re-appending the same scenario is a no-op under :meth:`Corpus.add`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import ConfigurationError
+from .executor import Outcome, run_scenario
+from .oracles import OracleViolation
+from .scenario import Scenario
+
+__all__ = ["CorpusRecord", "Corpus", "ReplayReport"]
+
+
+@dataclass
+class CorpusRecord:
+    """One corpus line: scenario + what happened + why it was kept."""
+
+    scenario: Scenario
+    outcome: Optional[Outcome] = None
+    violations: list = field(default_factory=list)  # list[OracleViolation]
+    #: scenario_id of the original (pre-shrink) finding, when this
+    #: record is a minimized repro.
+    shrunk_from: Optional[str] = None
+    #: (generator seed, draw index) provenance, when generated.
+    gen_seed: Optional[int] = None
+    gen_index: Optional[int] = None
+    note: str = ""
+
+    @property
+    def scenario_id(self) -> str:
+        return self.scenario.scenario_id
+
+    @property
+    def is_finding(self) -> bool:
+        return bool(self.violations)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_id": self.scenario_id,
+            "scenario": self.scenario.to_dict(),
+            "outcome": self.outcome.to_dict() if self.outcome else None,
+            "violations": [v.to_dict() for v in self.violations],
+            "shrunk_from": self.shrunk_from,
+            "gen_seed": self.gen_seed,
+            "gen_index": self.gen_index,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "CorpusRecord":
+        if not isinstance(raw, dict) or "scenario" not in raw:
+            raise ConfigurationError(f"corpus record must carry a 'scenario': {raw!r}")
+        outcome = raw.get("outcome")
+        return cls(
+            scenario=Scenario.from_dict(raw["scenario"]),
+            outcome=Outcome.from_dict(outcome) if outcome else None,
+            violations=[OracleViolation.from_dict(v) for v in raw.get("violations", [])],
+            shrunk_from=raw.get("shrunk_from"),
+            gen_seed=raw.get("gen_seed"),
+            gen_index=raw.get("gen_index"),
+            note=raw.get("note", ""),
+        )
+
+
+@dataclass
+class ReplayReport:
+    """Result of re-running a corpus record against its stored digest."""
+
+    record: CorpusRecord
+    outcome: Outcome
+    bit_exact: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_id": self.record.scenario_id,
+            "bit_exact": self.bit_exact,
+            "detail": self.detail,
+            "outcome": self.outcome.to_dict(),
+        }
+
+
+class Corpus:
+    """Append-only JSONL scenario database."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- reads -------------------------------------------------------------
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    yield CorpusRecord.from_dict(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{self.path}:{lineno}: corrupt corpus line: {exc}"
+                    ) from exc
+
+    def records(self) -> list[CorpusRecord]:
+        return list(self)
+
+    def ids(self) -> set[str]:
+        return {r.scenario_id for r in self}
+
+    def get(self, scenario_id: str) -> CorpusRecord:
+        """Look up by full or unambiguous-prefix scenario id."""
+        matches = [
+            r for r in self
+            if r.scenario_id == scenario_id or r.scenario_id.startswith(scenario_id)
+        ]
+        if not matches:
+            raise ConfigurationError(
+                f"no scenario {scenario_id!r} in corpus {self.path!r}"
+            )
+        distinct = {r.scenario_id for r in matches}
+        if len(distinct) > 1:
+            raise ConfigurationError(
+                f"scenario id {scenario_id!r} is ambiguous in {self.path!r}: "
+                f"{sorted(distinct)}"
+            )
+        return matches[-1]  # newest record wins for a re-appended id
+
+    # -- writes ------------------------------------------------------------
+    def append(self, record: CorpusRecord) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    def add(self, record: CorpusRecord) -> bool:
+        """Append unless the exact scenario id is already present."""
+        if record.scenario_id in self.ids():
+            return False
+        self.append(record)
+        return True
+
+    # -- replay ------------------------------------------------------------
+    def replay(self, scenario_id: str, *, runner=run_scenario) -> ReplayReport:
+        """Re-run a stored scenario and byte-compare outcome digests."""
+        record = self.get(scenario_id)
+        outcome = runner(record.scenario)
+        if record.outcome is None:
+            return ReplayReport(
+                record, outcome, bit_exact=False,
+                detail="record carries no stored outcome to compare against",
+            )
+        stored, fresh = record.outcome.digest_key(), outcome.digest_key()
+        if stored == fresh:
+            return ReplayReport(record, outcome, bit_exact=True, detail="digests match")
+        return ReplayReport(
+            record, outcome, bit_exact=False,
+            detail=f"digest drift: stored {stored} != replayed {fresh}",
+        )
+
+    def replay_all(self, *, runner=run_scenario) -> list[ReplayReport]:
+        return [self.replay(r.scenario_id, runner=runner) for r in self.records()]
+
+    # -- maintenance -------------------------------------------------------
+    def minimize(self, out_path: Optional[str] = None) -> int:
+        """Rewrite keeping only findings and minimized repros, newest
+        record per scenario id.  Returns the number of records kept."""
+        latest: dict[str, CorpusRecord] = {}
+        order: list[str] = []
+        for r in self:
+            if r.scenario_id not in latest:
+                order.append(r.scenario_id)
+            latest[r.scenario_id] = r
+        kept = [
+            latest[sid] for sid in order
+            if latest[sid].is_finding or latest[sid].shrunk_from
+        ]
+        dest = out_path or self.path
+        parent = os.path.dirname(os.path.abspath(dest))
+        os.makedirs(parent, exist_ok=True)
+        tmp = dest + ".tmp"
+        with open(tmp, "w") as fh:
+            for r in kept:
+                fh.write(json.dumps(r.to_dict(), sort_keys=True) + "\n")
+        os.replace(tmp, dest)
+        return len(kept)

@@ -1,0 +1,212 @@
+"""Sandboxed scenario execution.
+
+One scenario in, one :class:`Outcome` out - *never* an exception.  The
+executor classifies whatever happens into the stable exit-code
+vocabulary of :mod:`repro.errors` (handled :class:`ReproError`
+subclasses keep their table codes; anything else is an
+:class:`~repro.errors.InternalError`, code 14; a wall-clock timeout is
+code 124, the shell convention), and captures the traceback so a corpus
+entry is triageable without re-running it.
+
+Two execution modes:
+
+* **in-process** (default) - fastest, used by the oracles, the
+  shrinker, and replay; determinism of the simulation makes this safe.
+* **isolated** (``isolate=True``) - fork a child per scenario with a
+  hard wall-clock timeout; a hang or hard crash (segfault, OOM-kill)
+  is reported as an outcome instead of taking the session down.  This
+  is the chaos-autopilot mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import traceback as _tb
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ReproError, exit_code_for
+from .scenario import Scenario
+
+__all__ = ["Outcome", "ScenarioExecutor", "run_scenario", "TIMEOUT_EXIT_CODE"]
+
+#: Exit code reported for scenarios killed by the wall-clock timeout
+#: (the shell's `timeout(1)` convention).
+TIMEOUT_EXIT_CODE = 124
+
+#: Exit code reported when an isolated child dies without delivering an
+#: outcome (segfault, OOM-kill, interpreter abort).
+HARD_CRASH_EXIT_CODE = 125
+
+
+@dataclass
+class Outcome:
+    """What one scenario execution produced (JSON-able, corpus-ready)."""
+
+    status: str  # "ok" | "error" | "timeout" | "crash"
+    exit_code: int
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    #: SHA-256 prefix of the distance matrix bytes (+ shape/dtype).
+    dist_digest: Optional[str] = None
+    makespan: Optional[float] = None
+    certificate: Optional[dict] = None
+    fault_counters: Optional[dict] = None
+    #: :class:`~repro.obs.validation.VariantMeasurement` fields of the
+    #: instrumented run (perf-oracle input); None when uninstrumented.
+    measurement: Optional[dict] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Outcome":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in raw.items() if k in known})
+
+    def digest_key(self) -> tuple:
+        """What the determinism and replay oracles byte-compare."""
+        cert = None
+        if self.certificate is not None:
+            import json
+
+            cert = json.dumps(self.certificate, sort_keys=True)
+        return (self.status, self.exit_code, self.dist_digest, repr(self.makespan), cert)
+
+
+def dist_digest(dist) -> str:
+    h = hashlib.sha256()
+    h.update(str(dist.shape).encode())
+    h.update(str(dist.dtype).encode())
+    h.update(dist.tobytes())
+    return h.hexdigest()[:24]
+
+
+def _measurement_dict(result, machine: str) -> Optional[dict]:
+    from ..api import resolve_machine
+    from ..machine import CostModel
+    from ..obs.validation import measure
+
+    if result.tracer is None or result.metrics is None:
+        return None
+    cost = CostModel(resolve_machine(machine))
+    m = measure(result, cost)
+    return dataclasses.asdict(m)
+
+
+def run_scenario(scenario: Scenario) -> Outcome:
+    """Execute one scenario in-process and classify the outcome."""
+    import time
+
+    t0 = time.perf_counter()
+    try:
+        from ..api import solve
+
+        graph = scenario.build_graph()
+        result = solve(graph, scenario.to_solve_config())
+        outcome = Outcome(
+            status="ok",
+            exit_code=0,
+            dist_digest=dist_digest(result.dist) if result.dist is not None else None,
+            makespan=result.makespan,
+            certificate=result.certificate,
+            fault_counters=dict(result.fault_counters) if result.fault_counters else None,
+            measurement=_measurement_dict(result, scenario.machine)
+            if scenario.instrument
+            else None,
+        )
+    except Exception as exc:  # classified, never propagated
+        handled = isinstance(exc, ReproError)
+        outcome = Outcome(
+            status="error",
+            exit_code=exit_code_for(exc) if handled else 14,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            traceback=_tb.format_exc(),
+        )
+    outcome.wall_seconds = time.perf_counter() - t0
+    return outcome
+
+
+def _child_main(conn, scenario_dict: dict) -> None:  # pragma: no cover - child process
+    try:
+        outcome = run_scenario(Scenario.from_dict(scenario_dict))
+        conn.send(outcome.to_dict())
+    except BaseException as exc:  # even SystemExit must report back
+        conn.send(
+            Outcome(
+                status="crash",
+                exit_code=HARD_CRASH_EXIT_CODE,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                traceback=_tb.format_exc(),
+            ).to_dict()
+        )
+    finally:
+        conn.close()
+
+
+@dataclass
+class ScenarioExecutor:
+    """Runs scenarios and guarantees an :class:`Outcome` per run.
+
+    ``timeout`` (wall-clock seconds per scenario) only binds in
+    isolated mode - the in-process path records elapsed time but
+    cannot interrupt a hung solve.
+    """
+
+    timeout: Optional[float] = None
+    isolate: bool = False
+    #: Filled by isolated runs that had to terminate children.
+    kills: int = field(default=0, init=False)
+
+    def run(self, scenario: Scenario) -> Outcome:
+        if not self.isolate:
+            return run_scenario(scenario)
+        return self._run_isolated(scenario)
+
+    def _run_isolated(self, scenario: Scenario) -> Outcome:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_child_main, args=(child, scenario.to_dict()))
+        proc.start()
+        child.close()
+        try:
+            if parent.poll(self.timeout):
+                outcome = Outcome.from_dict(parent.recv())
+                proc.join(5.0)
+                if proc.is_alive():  # finished sending but wedged on exit
+                    proc.terminate()
+                    proc.join()
+                return outcome
+            # Timeout: the child is hung - kill it and classify.
+            self.kills += 1
+            proc.terminate()
+            proc.join()
+            return Outcome(
+                status="timeout",
+                exit_code=TIMEOUT_EXIT_CODE,
+                error="scenario exceeded wall-clock timeout "
+                f"of {self.timeout:g}s",
+                wall_seconds=float(self.timeout or 0.0),
+            )
+        except EOFError:
+            # Child died before sending anything: segfault/OOM-kill.
+            proc.join()
+            return Outcome(
+                status="crash",
+                exit_code=HARD_CRASH_EXIT_CODE,
+                error=f"sandboxed child died with exitcode {proc.exitcode} "
+                "before reporting an outcome",
+            )
+        finally:
+            parent.close()

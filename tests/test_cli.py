@@ -172,12 +172,12 @@ class TestFaultFlags:
 class TestExitCodes:
     """Each error class maps to a distinct, stable exit code."""
 
-    def test_bad_fault_spec_is_configuration_error(self, capsys):
+    def test_bad_fault_spec_is_fault_plan_error(self, capsys):
         rc = main(
             ["solve", "--n", "16", "--block", "4", "--nodes", "1",
              "--ranks-per-node", "2", "--faults", "explode:rank=0"]
         )
-        assert rc == 2
+        assert rc == 13
         assert "error:" in capsys.readouterr().err
 
     def test_invalid_weights_is_validation_error(self, tmp_path, capsys):
@@ -226,3 +226,9 @@ class TestExitCodes:
         assert _exit_code_for(RankFailure("x")) == 8
         assert _exit_code_for(CheckpointError("x")) == 9
         assert _exit_code_for(ReproError("x")) == 1
+        # FaultPlanError subclasses ConfigurationError but keeps its own
+        # code, and InternalError marks unexpected (non-Repro) bugs.
+        from repro.errors import FaultPlanError, InternalError
+
+        assert _exit_code_for(FaultPlanError("x")) == 13
+        assert _exit_code_for(InternalError(ValueError("boom"))) == 14

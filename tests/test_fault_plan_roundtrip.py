@@ -1,0 +1,322 @@
+"""Property-style round-trip tests for fault-plan parsing.
+
+Satellite of the fuzzer PR: every fault class must survive
+``spec string -> FaultPlan -> to_json -> from_json`` losslessly, and
+malformed specs must be rejected with :class:`FaultPlanError` (exit
+code 13), never a bare TypeError/ValueError.  Uses hypothesis when
+available (CI installs it) and falls back to the deterministic
+examples otherwise.
+"""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError, exit_code_for
+from repro.faults.plan import (
+    ComputeStraggler,
+    FaultPlan,
+    MemoryFault,
+    MessageFault,
+    NicWindow,
+    OomFault,
+    RankCrash,
+    _coerce,
+    _parse_kv,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ranks = st.integers(min_value=0, max_value=63)
+rounds = st.integers(min_value=0, max_value=40)
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+times = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=64)
+factors = st.floats(min_value=0.5, max_value=16.0, allow_nan=False, width=64).map(
+    lambda f: max(f, 0.5)
+)
+bits = st.integers(min_value=1, max_value=8)
+
+
+def fmt(x) -> str:
+    """Format a float the way a user would type it in a spec string -
+    repr round-trips float64 exactly."""
+    return repr(x) if isinstance(x, float) else str(x)
+
+
+# ---------------------------------------------------------------------------
+# spec-string strategies per fault class
+# ---------------------------------------------------------------------------
+
+# A message fault needs a selector: nth= (1-based) or p= (> 0).
+selectors = st.one_of(
+    st.integers(min_value=1, max_value=9).map(lambda n: f"nth={n}"),
+    st.floats(min_value=0.001, max_value=1.0, allow_nan=False, width=64).map(
+        lambda p: f"p={fmt(p)}"
+    ),
+)
+message_specs = st.builds(
+    lambda kind, sel, src, b: (
+        f"{kind}:"
+        + ",".join(
+            s
+            for s in (
+                sel,
+                f"src={src}" if src is not None else "",
+                f"bits={b}" if (b is not None and kind == "corrupt") else "",
+            )
+            if s
+        )
+    ),
+    st.sampled_from(["drop", "dup", "corrupt"]),
+    selectors,
+    st.none() | ranks,
+    st.none() | bits,
+)
+nic_specs = st.builds(
+    lambda node, f, t0, dt: f"nic:node={node},factor={fmt(f)},t0={fmt(t0)},t1={fmt(t0 + dt)}",
+    ranks, factors, times, times,
+)
+straggler_specs = st.builds(
+    lambda r, f: f"straggler:rank={r},factor={fmt(f)}", ranks, factors
+)
+crash_specs = st.builds(lambda r, t: f"crash:rank={r},at={fmt(t)}", ranks, times)
+oom_specs = st.builds(lambda r, k: f"oom:rank={r},k={k}", ranks, rounds)
+memflip_specs = st.builds(
+    lambda r, k, target, b: f"memflip:rank={r},k={k},target={target},bits={b}",
+    ranks, rounds, st.sampled_from(["block", "checkpoint", "oog"]), bits,
+)
+policy_specs = st.builds(
+    lambda t, retries, ckpt, restarts: (
+        "policy:"
+        + ",".join(
+            s
+            for s in (
+                f"timeout={fmt(t)}" if t is not None else "",
+                f"retries={retries}" if retries is not None else "",
+                f"ckpt={ckpt}" if ckpt is not None else "",
+                f"restarts={restarts}" if restarts is not None else "",
+            )
+            if s
+        )
+    ),
+    st.none() | st.floats(min_value=1e-6, max_value=1.0, allow_nan=False, width=64),
+    st.none() | st.integers(min_value=0, max_value=9),
+    st.none() | st.integers(min_value=1, max_value=8),
+    st.none() | st.integers(min_value=0, max_value=5),
+).filter(lambda s: s != "policy:")
+
+any_spec = st.one_of(
+    message_specs, nic_specs, straggler_specs, crash_specs, oom_specs,
+    memflip_specs, policy_specs,
+)
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties
+# ---------------------------------------------------------------------------
+
+
+@RELAXED
+@given(specs=st.lists(any_spec, max_size=6), seed=st.integers(0, 2**31 - 1))
+def test_from_specs_to_json_round_trip(specs, seed):
+    plan = FaultPlan.from_specs(specs, seed=seed)
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan
+    # idempotent: a second round trip is byte-identical JSON
+    assert again.to_json() == plan.to_json()
+
+
+@RELAXED
+@given(specs=st.lists(any_spec, min_size=1, max_size=4))
+def test_parsed_specs_populate_matching_class(specs):
+    plan = FaultPlan.from_specs(specs)
+    kinds = {s.partition(":")[0] for s in specs}
+    if kinds & {"drop", "dup", "corrupt"}:
+        assert plan.message_faults
+    if "nic" in kinds:
+        assert plan.nic_windows
+    if "straggler" in kinds:
+        assert plan.stragglers
+    if "crash" in kinds:
+        assert plan.crashes
+    if "oom" in kinds:
+        assert plan.ooms
+    if "memflip" in kinds:
+        assert plan.memory_faults
+
+
+@RELAXED
+@given(
+    n=st.integers(-(2**31), 2**31 - 1)
+    | st.floats(allow_nan=False, allow_infinity=False, width=64)
+    | st.booleans()
+)
+def test_coerce_round_trips_scalar_reprs(n):
+    text = repr(n) if isinstance(n, float) else str(n)
+    got = _coerce(text.lower() if isinstance(n, bool) else text)
+    assert got == n and type(got) is type(n)
+
+
+def test_coerce_special_values():
+    assert _coerce("inf") == float("inf")
+    assert _coerce("+inf") == float("inf")
+    assert _coerce("true") is True
+    assert _coerce("False") is False
+    assert _coerce("hello") == "hello"
+
+
+@RELAXED
+@given(
+    kv=st.dictionaries(
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=6),
+        st.integers(0, 99) | st.floats(0, 9, allow_nan=False, width=64),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_parse_kv_round_trip(kv):
+    body = ",".join(f"{k}={fmt(v)}" for k, v in kv.items())
+    assert _parse_kv(body, f"x:{body}") == kv
+
+
+def test_parse_kv_rejects_bare_tokens():
+    with pytest.raises(FaultPlanError, match="key=value"):
+        _parse_kv("rank", "straggler:rank")
+
+
+# ---------------------------------------------------------------------------
+# every fault class constructed directly round-trips through JSON
+# ---------------------------------------------------------------------------
+
+
+def test_full_plan_json_round_trip_lossless():
+    plan = FaultPlan(
+        message_faults=(
+            MessageFault(kind="drop", src=1, nth=2),
+            MessageFault(kind="corrupt", p=0.25, bits=3),
+            MessageFault(kind="dup", dst=0, tag=7, nth=1),
+        ),
+        nic_windows=(NicWindow(node=0, factor=4.0, t0=0.1, t1=float("inf")),),
+        stragglers=(ComputeStraggler(rank=2, factor=3.5),),
+        crashes=(RankCrash(rank=1, at=0.001),),
+        ooms=(OomFault(rank=0, k=3),),
+        memory_faults=(
+            MemoryFault(rank=0, k=1, target="block", bits=2, block=(1, 2)),
+            MemoryFault(rank=1, k=0, target="checkpoint"),
+        ),
+        seed=42,
+        recv_timeout=0.5,
+        max_retries=6,
+        backoff=2.0,
+        checkpoint_interval=2,
+        max_restarts=3,
+        oom_degrade=False,
+    )
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan
+    # the infinite window survives the JSON null encoding
+    assert math.isinf(again.nic_windows[0].t1)
+    # the block tuple survives the JSON list encoding
+    assert again.memory_faults[0].block == (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# rejection: malformed input raises FaultPlanError (exit code 13)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec, fragment",
+    [
+        ("drp:p=0.1", "unknown fault kind"),
+        ("drop:pp=0.1", "unknown keys"),
+        ("drop:p=1.5", "p"),
+        ("corrupt:p=0.1,bits=0", "bits"),
+        ("nic:node=0", "missing"),
+        ("nic:node=-1,factor=2", "node"),
+        ("nic:node=0,factor=0", "factor"),
+        ("nic:node=0,factor=2,t0=0.5,t1=0.1", "empty nic window"),
+        ("straggler:rank=0,factor=hot", "factor"),
+        ("crash:rank=-2,at=0", "rank"),
+        ("oom:rank=0,k=-1", "k"),
+        ("memflip:rank=0,k=0,target=cache", "target"),
+        ("memflip:rank=0,k=0,i=1", "both i= and j="),
+        ("policy:tmeout=0.1", "unknown policy key"),
+        ("policy:retries=-1", "max_retries"),
+        ("policy:backoff=0.5", "backoff"),
+        ("straggler:rank", "key=value"),
+    ],
+)
+def test_malformed_specs_raise_fault_plan_error(spec, fragment):
+    with pytest.raises(FaultPlanError, match=fragment):
+        FaultPlan.from_specs([spec])
+
+
+def test_fault_plan_error_exit_code_is_13():
+    try:
+        FaultPlan.from_specs(["drop:p=2"])
+    except FaultPlanError as exc:
+        assert exit_code_for(exc) == 13
+    else:  # pragma: no cover
+        pytest.fail("expected FaultPlanError")
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda d: d.update(bogus=1), "unknown fault-plan keys"),
+        (lambda d: d["message_faults"].append({"kind": "drop", "qq": 1}), "unknown keys"),
+        (lambda d: d["ooms"].append([1, 2]), "must be a JSON object"),
+        (lambda d: d["crashes"].append({"rank": 0, "at": -1}), "crash time"),
+        (lambda d: d["memory_faults"].append(
+            {"rank": 0, "k": 0, "block": [1, 2, 3]}), "block"),
+    ],
+)
+def test_malformed_json_raises_fault_plan_error(mutate, fragment):
+    base = json.loads(FaultPlan(crashes=(RankCrash(rank=0, at=0.1),)).to_json())
+    mutate(base)
+    with pytest.raises(FaultPlanError, match=fragment):
+        FaultPlan.from_json(json.dumps(base))
+
+
+def test_from_json_rejects_non_object():
+    with pytest.raises(FaultPlanError, match="must be an object"):
+        FaultPlan.from_json("[1, 2]")
+    with pytest.raises(FaultPlanError, match="invalid fault-plan JSON"):
+        FaultPlan.from_json("{nope")
+
+
+@RELAXED
+@given(specs=st.lists(any_spec, max_size=4))
+def test_asdict_json_is_strict_json(specs):
+    # to_json must always be loadable by a strict parser (no NaN/inf
+    # literals leak through the None encoding of open windows).
+    payload = FaultPlan.from_specs(specs).to_json()
+    json.loads(payload)
+    assert "Infinity" not in payload
+
+
+def test_every_field_validated():
+    # spot-check the direct-constructor validation added with the parser
+    # hardening: types, not just ranges
+    with pytest.raises(FaultPlanError, match="seed"):
+        FaultPlan(seed="zero")
+    with pytest.raises(FaultPlanError, match="oom_degrade"):
+        FaultPlan(oom_degrade="yes")
+    with pytest.raises(FaultPlanError, match="nth"):
+        MessageFault(kind="drop", nth=True)
+    with pytest.raises(FaultPlanError, match="factor"):
+        ComputeStraggler(rank=0, factor="fast")
+    for field in ("message_faults", "nic_windows", "stragglers", "crashes",
+                  "ooms", "memory_faults"):
+        assert field in {f.name for f in dataclasses.fields(FaultPlan)}

@@ -1,0 +1,67 @@
+"""Tier-1 replay of the checked-in fuzz regression corpus.
+
+``tests/data/fuzz_regressions.jsonl`` holds scenarios for real bugs the
+fuzzer found (see each record's ``note``): the OOM-degrade
+schedule-shape mismatch that broke bit-exact restart under look-ahead
+schedules, and the injector crash on memory flips targeting ranks that
+own no blocks.  Each record stores the full scenario tuple and the
+outcome digest of the *fixed* tree; this test re-runs every scenario
+and byte-compares, so any regression shows up as digest drift (or a
+fresh oracle violation) in the ordinary test suite - no fuzzing budget
+required.
+
+Grow the corpus by appending the minimized repro of any future finding:
+
+    repro-apsp fuzz corpus minimize --corpus <session.jsonl> \\
+        --output tests/data/fuzz_regressions.jsonl
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import Corpus, OracleSuite
+
+CORPUS_PATH = os.path.join(os.path.dirname(__file__), "data", "fuzz_regressions.jsonl")
+
+
+def records():
+    return Corpus(CORPUS_PATH).records()
+
+
+def test_regression_corpus_is_loadable_and_nonempty():
+    recs = records()
+    assert len(recs) >= 4
+    for rec in recs:
+        assert rec.outcome is not None, rec.scenario_id
+        assert rec.note, f"{rec.scenario_id} lacks a triage note"
+
+
+@pytest.mark.parametrize("rec", records(), ids=lambda r: r.scenario_id)
+def test_regression_scenario_replays_bit_exact(rec):
+    report = Corpus(CORPUS_PATH).replay(rec.scenario_id)
+    assert report.bit_exact, (
+        f"{rec.scenario_id} ({rec.note}) regressed: {report.detail}"
+    )
+
+
+def test_regression_corpus_passes_all_oracles():
+    suite = OracleSuite()
+    for rec in records():
+        violations = suite.check(rec.scenario, rec.outcome)
+        assert not violations, (
+            f"{rec.scenario_id} ({rec.note}): "
+            f"{[v.detail for v in violations]}"
+        )
+
+
+def test_oom_degrade_regressions_exercise_the_degrade_path():
+    # The stored counters prove the scenarios still reach the code the
+    # bugs lived in; if a refactor reroutes them, the corpus needs
+    # refreshing rather than silently testing nothing.
+    hits = {"faults.oom_degraded": 0, "faults.memflips_missed": 0}
+    for rec in records():
+        for key in hits:
+            hits[key] += (rec.outcome.fault_counters or {}).get(key, 0)
+    assert hits["faults.oom_degraded"] >= 2
+    assert hits["faults.memflips_missed"] >= 2
