@@ -1,0 +1,159 @@
+"""Multi-tenant scheduler throughput: shared cluster vs one-at-a-time.
+
+The point of the job runtime (repro/sched/) is that a fleet running N
+jobs *concurrently* finishes the mix sooner and keeps its GPUs busier
+than the same fleet running the same jobs back to back - admission
+packs jobs whose memory demands coexist, and fair-share arbitration
+interleaves their GPU/NIC use.  This bench runs the fixed-seed 8-job
+mixed-priority mix both ways on a 2-node Summit fleet (hollow mode,
+paper block scale) and measures the difference.
+
+Outputs:
+
+* ``benchmarks/results/sched_throughput.txt`` - human-readable table;
+* ``benchmarks/results/BENCH_sched.json`` - machine-readable makespan,
+  jobs/min, fleet utilization and per-job latency percentiles for both
+  modes (the CI ``sched`` job asserts on this file).
+
+Shape assertions: every job completes in both modes, the concurrent
+mix beats serial on makespan, and concurrent fleet utilization beats
+the serial (single-job) baseline - the acceptance criterion of the
+scheduler tentpole.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from common import B_VIRT, RESULTS_DIR, write_table
+
+from repro.sched import ClusterScheduler
+
+SEED = 7
+N_NODES = 2
+N_JOBS = 8
+
+
+def job_mix(seed: int = SEED) -> list[dict]:
+    """The fixed-seed mixed-priority mix: varied shapes, priorities,
+    weights and arrivals, all hollow at the paper's block scale."""
+    rng = np.random.RandomState(seed)
+    jobs = []
+    for i in range(N_JOBS):
+        nb = int(rng.choice([8, 10, 12, 14]))
+        n_nodes = int(rng.choice([1, 2]))
+        jobs.append(dict(
+            name=f"tenant{i}",
+            nb=nb,
+            priority=int(rng.randint(0, 3)),
+            weight=float(rng.choice([0.5, 1.0, 2.0])),
+            arrival=float(rng.uniform(0.0, 0.05)),
+            config=dict(
+                variant=str(rng.choice(["async", "pipelined", "baseline"])),
+                block_size=1,
+                n_nodes=n_nodes,
+                ranks_per_node=int(rng.choice([2, 3, 4])),
+                dim_scale=B_VIRT,
+                compute_numerics=False,
+                collect=False,
+                check_negative_cycles=False,
+            ),
+        ))
+    return jobs
+
+
+def _submit(sched: ClusterScheduler, job: dict, serial: bool):
+    return sched.submit(
+        np.zeros((job["nb"], job["nb"]), dtype=np.float32),
+        name=job["name"],
+        priority=0 if serial else job["priority"],
+        weight=1.0 if serial else job["weight"],
+        arrival=0.0 if serial else job["arrival"],
+        **job["config"],
+    )
+
+
+def run_serial(jobs: list[dict]) -> dict:
+    """One-job-at-a-time baseline: a fresh fleet per job (the pre-sched
+    engine's model), utilization = busy / (gpus x summed makespan)."""
+    total_makespan = 0.0
+    total_busy = 0.0
+    n_gpus = None
+    for job in jobs:
+        sched = ClusterScheduler(n_nodes=N_NODES, dim_scale=B_VIRT)
+        handle = _submit(sched, job, serial=True)
+        sched.run()
+        assert handle.report().status == "done", handle.report()
+        flat = sched.fleet_metrics().flat()
+        total_makespan += flat["fleet.makespan"]
+        total_busy += flat["fleet.gpu.busy_seconds"]
+        n_gpus = len(sched.cluster.nodes) * sched.machine.node.gpus_per_node
+    return {
+        "makespan": total_makespan,
+        "gpu_utilization": total_busy / (n_gpus * total_makespan),
+        "jobs_per_minute": 60.0 * len(jobs) / total_makespan,
+    }
+
+
+def run_concurrent(jobs: list[dict]) -> dict:
+    sched = ClusterScheduler(n_nodes=N_NODES, dim_scale=B_VIRT)
+    handles = [_submit(sched, job, serial=False) for job in jobs]
+    reports = sched.run()
+    assert all(r.status == "done" for r in reports), reports
+    assert len(handles) == len(jobs)
+    flat = sched.fleet_metrics().flat()
+    return {
+        "makespan": flat["fleet.makespan"],
+        "gpu_utilization": flat["fleet.gpu.utilization"],
+        "jobs_per_minute": 60.0 * len(jobs) / flat["fleet.makespan"],
+        "latency_p50": flat["fleet.job.latency.p50"],
+        "latency_p99": flat["fleet.job.latency.p99"],
+        "queue_wait_p50": flat["fleet.job.queue_wait.p50"],
+        "queue_wait_p99": flat["fleet.job.queue_wait.p99"],
+        "queued": flat.get("fleet.jobs.queued", 0.0),
+    }
+
+
+def run_both() -> dict:
+    jobs = job_mix()
+    return {"serial": run_serial(jobs), "concurrent": run_concurrent(jobs)}
+
+
+def test_sched_throughput(benchmark):
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    serial, conc = out["serial"], out["concurrent"]
+
+    rows = [
+        ["serial (1 job/fleet)", f"{serial['makespan']:.3f}",
+         f"{serial['jobs_per_minute']:.0f}", f"{serial['gpu_utilization']:.1%}",
+         "-", "-"],
+        ["concurrent (shared)", f"{conc['makespan']:.3f}",
+         f"{conc['jobs_per_minute']:.0f}", f"{conc['gpu_utilization']:.1%}",
+         f"{conc['latency_p50']:.3f}", f"{conc['latency_p99']:.3f}"],
+    ]
+    write_table(
+        "sched_throughput",
+        f"Scheduler throughput: {N_JOBS}-job mixed-priority mix (seed {SEED}) "
+        f"on {N_NODES} Summit nodes, simulated seconds",
+        ["mode", "makespan s", "jobs/min", "GPU util", "lat p50", "lat p99"],
+        rows,
+    )
+    payload = {
+        "bench": "sched_throughput",
+        "seed": SEED,
+        "n_jobs": N_JOBS,
+        "n_nodes": N_NODES,
+        "serial": serial,
+        "concurrent": conc,
+        "speedup": serial["makespan"] / conc["makespan"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sched.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Shape: sharing the fleet must beat running the same jobs alone.
+    assert conc["makespan"] < serial["makespan"]
+    assert conc["gpu_utilization"] > serial["gpu_utilization"]
+    assert conc["latency_p99"] >= conc["latency_p50"] > 0.0

@@ -1,15 +1,20 @@
-"""Capacity planning with the paper's performance models (§2.7, §3.4,
-§4.5, Eq. 5) - before burning node-hours.
+"""Capacity planning through the scheduler's admission-control API
+(§2.7, §3.4, §4.5, Eq. 5) - before burning node-hours.
 
-Given a target problem (vertices) and a machine (Summit by default),
-this example:
+The cluster scheduler prices every job *before* it touches the machine
+(:mod:`repro.sched.admission`).  This example drives the same machinery
+directly:
 
-1. predicts runtime and the compute/communication balance with Eq. 1;
-2. picks the process grid, rank placement, block size and stream count
-   with the §3.4/§4.5-driven tuner;
-3. decides whether the problem *fits* in aggregate GPU memory, and if
-   not, what the offload variant needs;
-4. cross-checks the prediction against a (hollow) simulated run.
+1. :func:`repro.sched.assess` prices a problem *shape* against a fleet
+   shape - feasibility ladder (fits-HBM / needs-offload / infeasible),
+   recommended variant and block size, Eq. 1 predicted makespan - with
+   no graph allocated, so the paper's 300k-vertex / 10 TB
+   configurations cost nothing to evaluate;
+2. a live :class:`repro.sched.ClusterScheduler` shows the admission
+   verdicts end to end: a job that fits runs, an oversubscribing job
+   queues until capacity frees, an impossible one is REJECTED with
+   :class:`~repro.errors.AdmissionError` (exit code 15);
+3. a hollow simulated run cross-checks the Eq. 1 prediction.
 
 Run:  python examples/capacity_planning.py
 """
@@ -18,74 +23,98 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import apsp
-from repro.machine import SUMMIT, CostModel
-from repro.perfmodel import (
-    min_offload_block_size,
-    oog_pipeline_cost,
-    oog_stage_costs,
-    parallel_fw_cost,
-    tune,
-)
+from repro.sched import ClusterScheduler, JobStatus, assess
 
 
 def plan(n: float, n_nodes: int, ranks_per_node: int = 12) -> None:
-    cost = CostModel(SUMMIT)
+    """Price one paper configuration with the admission controller's
+    shape-level what-if."""
+    a = assess(n, n_nodes, ranks_per_node)
     print(f"=== plan: n = {n:,.0f} vertices on {n_nodes} Summit nodes "
           f"({ranks_per_node} ranks/node) ===")
-
-    report = tune(cost, n, n_nodes, ranks_per_node)
-    print("tuner:", report.summary())
-
-    br = parallel_fw_cost(cost, n, report.block_size, report.p_r, report.p_c,
-                          gpus_share=2)
-    regime = "compute-bound" if br.compute > br.bandwidth else "bandwidth-bound"
-    print(f"Eq. 1 terms: compute {br.compute:.2f}s, bandwidth {br.bandwidth:.2f}s, "
-          f"latency {br.latency * 1e3:.2f}ms -> {regime}")
-
-    # --- memory feasibility ----------------------------------------------
-    matrix_bytes = n * n * 4
-    hbm_total = n_nodes * SUMMIT.node.gpus_per_node * SUMMIT.node.gpu.hbm_bytes
-    dram_total = n_nodes * SUMMIT.node.dram_bytes
-    print(f"distance matrix: {matrix_bytes / 1e12:.2f} TB; aggregate HBM "
-          f"{hbm_total / 1e12:.2f} TB; aggregate DRAM {dram_total / 1e12:.2f} TB")
-    if matrix_bytes < 0.8 * hbm_total:
+    print("assessment:", a.summary())
+    print(f"distance matrix: {a.matrix_bytes / 1e12:.2f} TB; aggregate HBM "
+          f"{a.hbm_total / 1e12:.2f} TB; aggregate DRAM {a.dram_total / 1e12:.2f} TB")
+    if a.feasibility == "fits-hbm":
         print("fits in GPU memory: use Co-ParallelFw (variant='async')")
-    elif matrix_bytes < 0.8 * dram_total:
-        floor = min_offload_block_size(cost)
-        local = n / max(report.p_r, report.p_c)
-        stages = oog_stage_costs(cost, local, local, max(report.block_size, floor))
+    elif a.feasibility == "needs-offload":
         print(f"beyond GPU memory -> Me-ParallelFw (variant='offload'); "
-              f"Eq. 5 block floor {floor:.0f}; per-iteration ooGSrGemm "
-              f"{oog_pipeline_cost(stages, 3):.3f}s at 3 streams")
+              f"Eq. 5 block-size floor applied: b = {a.block_size}")
     else:
         print("does not fit in host DRAM either: need more nodes")
+    regime = "compute-bound" if a.compute_seconds > a.bandwidth_seconds else "bandwidth-bound"
+    print(f"Eq. 1 terms: compute {a.compute_seconds:.2f}s, "
+          f"bandwidth {a.bandwidth_seconds:.2f}s -> {regime}")
+    print()
+    return a
+
+
+def admission_demo() -> None:
+    """The same pricing, live: submit jobs against one shared fleet and
+    watch the admit / queue / reject verdicts."""
+    print("=== admission control: one shared 1-node fleet ===")
+    sched = ClusterScheduler(n_nodes=1, dim_scale=9000.0)
+    hollow = dict(variant="async", block_size=1, n_nodes=1, ranks_per_node=2,
+                  dim_scale=9000.0, compute_numerics=False, collect=False,
+                  check_negative_cycles=False)
+    w = np.zeros((8, 8), dtype=np.float32)
+
+    first = sched.submit(w, name="first", **hollow)
+    second = sched.submit(w, name="second", **hollow)   # same footprint: must wait
+    too_big = sched.submit(np.zeros((24, 24), dtype=np.float32),
+                           name="too-big", **hollow)    # 3x the rows: never fits
+
+    print(f"first:   {first.status.value}  (fits an idle fleet)")
+    print(f"second:  {second.status.value}  ({second.report().reason})")
+    print(f"too-big: {too_big.status.value}  ({too_big.report().reason})")
+    assert first.status is JobStatus.RUNNING
+    assert second.status is JobStatus.QUEUED
+    assert too_big.status is JobStatus.REJECTED
+    assert too_big.report().exit_code == 15  # AdmissionError's CLI code
+
+    reports = sched.run()
+    done = [r.name for r in reports if r.status == "done"]
+    assert sorted(done) == ["first", "second"]
+    assert second.report().queue_wait > 0.0
+    print(f"after run: first/second done; second queued "
+          f"{second.report().queue_wait:.1f}s for capacity; "
+          f"fleet GPU utilization "
+          f"{sched.fleet_metrics().flat()['fleet.gpu.utilization']:.1%}")
     print()
 
 
 def cross_check() -> None:
-    """Compare the Eq. 1 prediction with a simulated run."""
+    """Compare the Eq. 1 prediction with a simulated hollow run, both
+    priced and executed through the scheduler."""
     print("=== cross-check: model vs simulator (hollow run) ===")
     nb, nodes, rpn, b = 64, 8, 8, 768.0
     n_virt = nb * b
-    cost = CostModel(SUMMIT)
-    rep = tune(cost, n_virt, nodes, rpn)
-    w = np.zeros((nb, nb), dtype=np.float32)
-    sim = apsp(w, variant="async", block_size=1, n_nodes=nodes, ranks_per_node=rpn,
-               dim_scale=b, compute_numerics=False, collect_result=False).report
-    print(f"model:     {rep.predicted.total:8.3f} s")
+    a = assess(n_virt, nodes, rpn)
+    sched = ClusterScheduler(n_nodes=nodes, dim_scale=b)
+    handle = sched.submit(
+        np.zeros((nb, nb), dtype=np.float32), variant="async", block_size=1,
+        n_nodes=nodes, ranks_per_node=rpn, dim_scale=b,
+        compute_numerics=False, collect=False, check_negative_cycles=False,
+    )
+    sim = handle.result().report
+    print(f"model:     {a.predicted_makespan:8.3f} s")
     print(f"simulator: {sim.elapsed:8.3f} s  "
           f"({sim.petaflops:.4f} PF/s, {sim.effective_bandwidth() / 1e9:.2f} GB/s/node)")
-    ratio = sim.elapsed / rep.predicted.total
+    ratio = sim.elapsed / a.predicted_makespan
     print(f"sim/model ratio: {ratio:.2f} (fill, diagonal chain and stragglers "
           "are outside Eq. 1)")
+    assert 0.1 < ratio < 10.0, "model and simulator should agree within an order"
 
 
 def main() -> None:
     # The paper's headline configurations:
-    plan(300_000, 256)   # Figure 8's strong-scaling endpoint
-    plan(1_664_511, 64)  # the 10 TB problem only offload can touch
-    plan(196_608, 16)    # Figure 3's sweep size
+    a = plan(300_000, 256)   # Figure 8's strong-scaling endpoint
+    assert a.feasibility == "fits-hbm"
+    b = plan(1_664_511, 64)  # the 10 TB problem only offload can touch
+    assert b.feasibility == "needs-offload"
+    c = plan(196_608, 16)
+    assert c.feasible
+    admission_demo()
     cross_check()
 
 

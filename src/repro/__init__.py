@@ -37,6 +37,7 @@ __version__ = "1.0.0"
 __all__ = [
     # the public entry point
     "solve",
+    "submit",
     "SolveConfig",
     "ObsSinks",
     "ApspResult",
@@ -75,7 +76,7 @@ def _deprecated_apsp(*args, **kwargs):
 
 
 def __getattr__(name):  # lazy imports keep `import repro` light
-    if name in ("solve", "SolveConfig", "ObsSinks", "resolve_machine"):
+    if name in ("solve", "submit", "SolveConfig", "ObsSinks", "resolve_machine"):
         from . import api
 
         return getattr(api, name)
@@ -89,7 +90,7 @@ def __getattr__(name):  # lazy imports keep `import repro` light
         from .faults import FaultPlan
 
         return FaultPlan
-    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis", "faults", "api", "obs", "verify"):
+    if name in ("semiring", "core", "machine", "mpi", "sim", "graphs", "perfmodel", "extensions", "analysis", "faults", "api", "obs", "verify", "sched"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

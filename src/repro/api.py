@@ -49,6 +49,7 @@ __all__ = [
     "ObsSinks",
     "SolveConfig",
     "solve",
+    "submit",
     "resolve_machine",
     "config_to_jsonable",
 ]
@@ -337,6 +338,53 @@ def _solve_engine(_engine, graph, config: SolveConfig, grid):
             f"n={result.report.n_virtual:g} b={result.report.block_size}",
         )
     return result
+
+
+def submit(graph, config: Optional[SolveConfig] = None, *, scheduler=None,
+           name: Optional[str] = None, priority: int = 0, weight: float = 1.0,
+           arrival: float = 0.0, **overrides):
+    """Submit a job to a shared cluster; returns a
+    :class:`~repro.sched.JobHandle` instead of blocking on the result.
+
+    The job-oriented sibling of :func:`solve`: where ``solve`` builds a
+    private machine, runs one APSP, and returns its
+    :class:`~repro.core.driver.ApspResult`, ``submit`` enqueues the same
+    work on a :class:`~repro.sched.ClusterScheduler` - by default a
+    fresh one sized from the config (the degenerate one-job schedule,
+    bit-exact and makespan-exact against ``solve``), or an explicit
+    shared ``scheduler=`` to run against other tenants' jobs::
+
+        sched = repro.sched.ClusterScheduler(n_nodes=4)
+        h1 = repro.submit(w1, cfg, scheduler=sched, priority=1)
+        h2 = repro.submit(w2, cfg, scheduler=sched)
+        dist = h1.result()            # drives both jobs to completion
+
+    ``priority`` buys a larger fair share of contended GPU streams and
+    NIC bandwidth (2x per level), ``weight`` subdivides within a
+    priority level, and ``arrival`` delays the job's (simulated)
+    arrival at the cluster.  See docs/SCHEDULING.md.
+    """
+    if config is None:
+        config = SolveConfig()
+    if not isinstance(config, SolveConfig):
+        raise ConfigurationError(
+            f"config must be a SolveConfig, got {type(config).__name__}"
+        )
+    if overrides:
+        config = config.replace(**overrides)
+
+    if scheduler is None:
+        from .sched import ClusterScheduler
+
+        scheduler = ClusterScheduler(
+            machine=config.machine,
+            n_nodes=config.n_nodes,
+            dim_scale=config.dim_scale,
+            trace=config.trace or config.obs.trace_out is not None,
+        )
+    return scheduler.submit(
+        graph, config, name=name, priority=priority, weight=weight, arrival=arrival
+    )
 
 
 def _run_header(report) -> dict:

@@ -186,6 +186,29 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--qr", type=int, required=True)
     placement.add_argument("--qc", type=int, required=True)
 
+    sched = sub.add_parser(
+        "sched",
+        help="run a multi-tenant job mix on one shared cluster (see docs/SCHEDULING.md)",
+    )
+    sched.add_argument(
+        "spec", type=str,
+        help="job-mix JSON: machine/n_nodes plus a 'jobs' array "
+        "(graph, config, priority, weight, arrival per job)",
+    )
+    sched.add_argument(
+        "--report-json", type=str, default=None, metavar="PATH",
+        help="write per-job reports + fleet metrics as JSON",
+    )
+    sched.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the fleet metrics catalog as JSON",
+    )
+    sched.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write a job-tagged Chrome trace_event JSON of the whole fleet "
+        "(per-job Perfetto lanes; forces fleet tracing on)",
+    )
+
     fuzz = sub.add_parser(
         "fuzz", help="coverage-driven scenario fuzzer (see docs/FUZZING.md)"
     )
@@ -530,6 +553,59 @@ def cmd_placement(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sched(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import _check_sink_path
+    from .sched import load_job_mix, run_job_mix
+
+    for path in (args.report_json, args.metrics_out, args.trace_out):
+        if path is not None:
+            _check_sink_path(path)
+    spec = load_job_mix(args.spec)
+    scheduler, reports = run_job_mix(
+        spec, trace=True if args.trace_out else None
+    )
+
+    print(
+        f"{'job':<16s} {'status':<9s} {'prio':>4s} {'queued':>10s} "
+        f"{'elapsed':>10s} {'latency':>10s} {'exit':>4s}"
+    )
+    for r in reports:
+        print(
+            f"{r.name:<16s} {r.status:<9s} {r.priority:>4d} "
+            f"{r.queue_wait:>10.6f} {r.elapsed:>10.6f} {r.latency:>10.6f} "
+            f"{r.exit_code:>4d}"
+        )
+        if r.error:
+            print(f"  {r.name}: {r.error}")
+    flat = scheduler.fleet_metrics().flat()
+    print("\nfleet:")
+    for key in sorted(flat):
+        if key.startswith("fleet."):
+            print(f"  {key:<28s} {flat[key]:g}")
+
+    if args.report_json:
+        payload = {
+            "spec": args.spec,
+            "jobs": [r.as_dict() for r in reports],
+            "fleet": {k: v for k, v in sorted(flat.items()) if k.startswith("fleet.")},
+        }
+        with open(args.report_json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"report written to {args.report_json}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(scheduler.fleet_metrics().as_dict(), fh, indent=2)
+        print(f"fleet metrics written to {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            json.dump(scheduler.chrome_trace(run_name=f"repro sched {args.spec}"), fh)
+        print(f"Chrome trace written to {args.trace_out} (open in Perfetto)")
+    # A failed tenant fails the mix with its own class's exit code.
+    return max((r.exit_code for r in reports), default=0)
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.fuzz_command == "run":
         return _cmd_fuzz_run(args)
@@ -623,6 +699,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "backends": cmd_backends,
         "placement": cmd_placement,
         "analyze": cmd_analyze,
+        "sched": cmd_sched,
         "fuzz": cmd_fuzz,
     }
     try:

@@ -276,7 +276,7 @@ class RankState:
         self.row_comm = ctx.row_comms[self.row].localize(me)
         self.col_comm = ctx.col_comms[self.col].localize(me)
         self.gpu: SimGPU = ctx.gpu_of(me)
-        self.stream: CudaStream = self.gpu.stream(f"r{me}.main")
+        self.stream: CudaStream = self.gpu.stream(f"r{me}.main", tracer=ctx.tracer)
         self.host: HostCpu = ctx.host_of(me)
         #: Outstanding async sends (ring relays) to drain at the end.
         self.pending: list[Event] = []

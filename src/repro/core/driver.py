@@ -5,6 +5,22 @@ grid, placement, rank programs - runs the discrete-event simulation,
 gathers the distance matrix, and returns it together with a
 :class:`~repro.core.report.PerfReport`.
 
+The pipeline is factored into reusable stages so the multi-tenant
+scheduler (:mod:`repro.sched`) can drive the same machinery over a
+*shared* simulated machine:
+
+* :func:`plan_run` - pure planning: validate arguments, resolve grid /
+  placement / block size / variant config / fault plan into a
+  :class:`RunPlan` (no simulation objects touched);
+* :class:`MachineHandles` - the simulated machine (environment,
+  cluster, cost model, tracer).  :func:`apsp` constructs a private one
+  by default but accepts injected handles, which is how N concurrent
+  jobs share one cluster;
+* :func:`make_state_builders` - the per-rank state construction and
+  HBM/DRAM accounting closures;
+* :func:`build_result` - collection, validation, report and
+  certificate assembly after the simulated run.
+
 Typical use::
 
     from repro import apsp
@@ -19,8 +35,8 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -58,7 +74,17 @@ from .programs import program_for_config
 from .report import PerfReport
 from .variants import Variant, variant_config
 
-__all__ = ["ApspResult", "apsp", "placement_for_variant", "default_block_size"]
+__all__ = [
+    "ApspResult",
+    "MachineHandles",
+    "RunPlan",
+    "apsp",
+    "build_result",
+    "make_state_builders",
+    "placement_for_variant",
+    "plan_run",
+    "default_block_size",
+]
 
 
 @dataclass
@@ -131,6 +157,360 @@ def placement_for_variant(
         return optimal_placement(grid, ranks_per_node)
 
 
+@dataclass
+class MachineHandles:
+    """The simulated machine of one (or many) runs.
+
+    :func:`apsp` builds a private set by default; the cluster scheduler
+    builds one set and injects it into every job so N concurrent solves
+    contend for the same simulated GPUs and NICs.
+    """
+
+    env: Environment
+    cluster: SimCluster
+    cost: CostModel
+    #: The fleet tracer; ``None`` when tracing is off.
+    tracer: Optional[Tracer] = None
+
+    @classmethod
+    def create(
+        cls,
+        machine: MachineSpec,
+        n_nodes: int,
+        dim_scale: float = 1.0,
+        trace: bool = False,
+    ) -> "MachineHandles":
+        env = Environment()
+        tracer = Tracer(enabled=trace)
+        cost = CostModel(machine, dim_scale=dim_scale)
+        cluster = SimCluster(env, machine, n_nodes, cost, tracer if trace else None)
+        return cls(env=env, cluster=cluster, cost=cost, tracer=tracer if trace else None)
+
+
+@dataclass
+class RunPlan:
+    """The fully-resolved static shape of one APSP run.
+
+    Produced by :func:`plan_run` before any simulation object exists,
+    so the scheduler's admission controller can cost a job (memory
+    demand, predicted makespan) without touching the shared machine.
+    """
+
+    var: Variant
+    config: SolverConfig
+    grid: ProcessGrid
+    placement: RankPlacement
+    b: int
+    n: int
+    n_orig: int
+    nb: int
+    n_ranks: int
+    n_nodes: int
+    semiring: Semiring
+    w: np.ndarray
+    padded: np.ndarray
+    plan: Optional[FaultPlan] = None
+    track_paths: bool = False
+    collect_result: bool = True
+    validate: bool = False
+    check_negative_cycles: bool = True
+    fault_seed: int = 0
+    locals_: Optional[list] = field(default=None, repr=False)
+    nxt_locals: Optional[list] = field(default=None, repr=False)
+
+    def distribute(self) -> None:
+        """Scatter the padded matrix (and next-hop pointers) into
+        per-rank local blocks; idempotent."""
+        if self.locals_ is not None:
+            return
+        self.locals_ = distribute(self.padded, self.b, self.grid)
+        if self.track_paths:
+            from ..semiring.path_kernels import NO_HOP, init_next_hops
+
+            nxt_global = init_next_hops(self.padded)
+            np.fill_diagonal(nxt_global, NO_HOP)
+            self.nxt_locals = distribute(nxt_global, self.b, self.grid)
+
+
+def plan_run(
+    weights: np.ndarray,
+    *,
+    variant: Union[str, Variant] = Variant.ASYNC,
+    block_size: Optional[int] = None,
+    machine: MachineSpec = SUMMIT,
+    n_nodes: int = 1,
+    ranks_per_node: Optional[int] = None,
+    grid: Optional[ProcessGrid] = None,
+    placement: Optional[RankPlacement] = None,
+    semiring: Semiring = MIN_PLUS,
+    diag_on_gpu: bool = True,
+    n_streams: int = 3,
+    ring_segments: int = 1,
+    mx_blocks: int = 2,
+    nx_blocks: int = 2,
+    collect_result: bool = True,
+    validate: bool = False,
+    check_negative_cycles: bool = True,
+    compute_numerics: bool = True,
+    track_paths: bool = False,
+    exploit_sparsity: bool = False,
+    kernel_backend: Optional[str] = None,
+    fault_plan: Union[FaultPlan, Sequence[str], str, None] = None,
+    checkpoint_interval: Optional[int] = None,
+    recv_timeout: Optional[float] = None,
+    fault_seed: int = 0,
+    verify: str = "off",
+) -> RunPlan:
+    """Resolve run arguments into a :class:`RunPlan` (pure planning)."""
+    w = np.asarray(weights)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise ConfigurationError(f"weights must be square, got {w.shape}")
+    n = w.shape[0]
+    var = Variant.parse(variant)
+
+    if ranks_per_node is None:
+        ranks_per_node = 2 * machine.node.gpus_per_node
+    n_ranks = n_nodes * ranks_per_node
+    if grid is None:
+        pr, pc = near_square_factors(n_ranks)
+        grid = ProcessGrid(pr, pc)
+    elif grid.size != n_ranks:
+        raise ConfigurationError(
+            f"grid {grid.pr}x{grid.pc} has {grid.size} ranks but "
+            f"{n_nodes} nodes x {ranks_per_node} ranks/node = {n_ranks}"
+        )
+    if placement is None:
+        placement = placement_for_variant(var, grid, ranks_per_node)
+    if placement.n_nodes != n_nodes:
+        raise ConfigurationError(
+            f"placement spans {placement.n_nodes} nodes, run requested {n_nodes}"
+        )
+
+    b = block_size if block_size is not None else default_block_size(n, grid)
+    padded, n_orig = pad_to_blocks(w, b, semiring)
+    nb = padded.shape[0] // b
+
+    if not compute_numerics and (validate or collect_result):
+        raise ConfigurationError(
+            "compute_numerics=False runs the simulation hollow; the result "
+            "matrix is meaningless - pass collect_result=False, validate=False"
+        )
+    config = variant_config(
+        var,
+        SolverConfig(
+            block_size=b,
+            semiring=semiring,
+            diag_on_gpu=diag_on_gpu,
+            n_streams=n_streams,
+            mx_blocks=mx_blocks,
+            nx_blocks=nx_blocks,
+            ring_segments=ring_segments,
+            track_paths=track_paths,
+            exploit_sparsity=exploit_sparsity,
+            compute_numerics=compute_numerics,
+            kernel_backend=kernel_backend,
+            verify=verify,
+        ),
+    )
+    if track_paths and not compute_numerics:
+        raise ConfigurationError("track_paths requires compute_numerics=True")
+
+    plan = resolve_fault_plan(fault_plan, seed=fault_seed)
+    if checkpoint_interval is not None or recv_timeout is not None:
+        overrides: dict[str, object] = {}
+        if checkpoint_interval is not None:
+            overrides["checkpoint_interval"] = checkpoint_interval
+        if recv_timeout is not None:
+            overrides["recv_timeout"] = recv_timeout
+        plan = (plan if plan is not None else FaultPlan(seed=fault_seed)).replace(**overrides)
+        if not plan.armed():
+            plan = None
+    if plan is not None:
+        for c in plan.crashes:
+            if not 0 <= c.rank < n_ranks:
+                raise ConfigurationError(f"crash rank {c.rank} outside world of {n_ranks}")
+
+    return RunPlan(
+        var=var,
+        config=config,
+        grid=grid,
+        placement=placement,
+        b=b,
+        n=n,
+        n_orig=n_orig,
+        nb=nb,
+        n_ranks=n_ranks,
+        n_nodes=n_nodes,
+        semiring=semiring,
+        w=w,
+        padded=padded,
+        plan=plan,
+        track_paths=track_paths,
+        collect_result=collect_result,
+        validate=validate,
+        check_negative_cycles=check_negative_cycles,
+        fault_seed=fault_seed,
+    )
+
+
+def make_state_builders(
+    ctx: FwContext, rp: RunPlan
+) -> tuple[Callable, Callable]:
+    """The per-rank state construction / teardown closures of a run.
+
+    ``build_states(cfg, blocks_by_rank, nxt_by_rank)`` constructs every
+    :class:`RankState` and charges its HBM (and, under offload, host
+    DRAM) footprint, rolling the partial charges back on
+    :class:`~repro.errors.GpuOutOfMemory` - the memory accounting where
+    Figure 7's feasibility wall comes from.  ``teardown_states(states)``
+    releases the charges.
+    """
+    cost = ctx.cost
+    grid = rp.grid
+    nb = rp.nb
+    b = rp.b
+    n_ranks = rp.n_ranks
+    track_paths = rp.track_paths
+
+    def teardown_states(states: list[RankState]) -> None:
+        for state in states:
+            if state.hbm_charged:
+                state.gpu.dealloc(state.hbm_charged)
+                state.hbm_charged = 0
+            if state.dram_charged:
+                state.host.dealloc(state.dram_charged)
+                state.dram_charged = 0
+
+    def build_states(cfg: SolverConfig, blocks_by_rank, nxt_by_rank) -> list[RankState]:
+        states = [
+            RankState(ctx, r, blocks_by_rank[r],
+                      nxt=None if nxt_by_rank is None else nxt_by_rank[r])
+            for r in range(n_ranks)
+        ]
+        # -- memory accounting (where Figure 7's feasibility wall comes from)
+        try:
+            for state in states:
+                elems = local_matrix_elems(state.me, nb, b, grid)
+                rows = len(state.local_rows())
+                cols = len(state.local_cols())
+                assert elems == rows * cols * b * b
+                if cfg.offload:
+                    state.dram_charged = int(cost.bytes_of(rows * b, cols * b))
+                    state.host.alloc(state.dram_charged, "local distance matrix")
+                    state.hbm_charged = state.gpu.alloc(
+                        offload_gpu_footprint(state), f"rank {state.me} offload buffers"
+                    )
+                else:
+                    footprint = (
+                        cost.gpu_bytes(rows * b, cols * b)  # local matrix
+                        + cost.gpu_bytes(b, cols * b)  # received row panel
+                        + cost.gpu_bytes(rows * b, b)  # received column panel
+                        + cost.gpu_bytes(b, b)  # diagonal block
+                    )
+                    if track_paths:
+                        # int64 pointer blocks cost 2x the float32 distances.
+                        footprint *= 3
+                    state.hbm_charged = state.gpu.alloc(
+                        footprint, f"rank {state.me} matrix+panels"
+                    )
+        except GpuOutOfMemory:
+            teardown_states(states)  # roll back the partial charges
+            raise
+        return states
+
+    return build_states, teardown_states
+
+
+def build_result(
+    ctx: FwContext,
+    rp: RunPlan,
+    states: list[RankState],
+    elapsed: float,
+    run_config: SolverConfig,
+    *,
+    obs=None,
+    injector=None,
+    tracer: Optional[Tracer] = None,
+) -> ApspResult:
+    """Assemble the :class:`ApspResult` of a completed simulated run:
+    gather + negative-cycle check, oracle validation, PerfReport,
+    verification certificate and the finalized metrics catalog."""
+    config = rp.config
+    semiring = rp.semiring
+    dist = None
+    next_hops = None
+    if rp.collect_result or rp.validate:
+        dist = collect([s.blocks for s in states], rp.n_orig, rp.b, rp.grid)
+        if rp.track_paths:
+            next_hops = collect([s.nxt for s in states], rp.n_orig, rp.b, rp.grid)
+        if rp.check_negative_cycles and semiring is MIN_PLUS:
+            check_no_negative_cycle(dist)
+    if rp.validate:
+        # The oracle runs on the *unwrapped* kernel: same numerics,
+        # minus the checksumming (its temporaries are untracked anyway)
+        # and minus the metering (oracle flops are not the run's work).
+        if ctx.verify is not None:
+            oracle_backend = ctx.verify.inner
+        else:
+            oracle_backend = ctx.backend.inner if obs is not None else ctx.backend
+        oracle = blocked_fw(
+            rp.w, rp.b, semiring=semiring, check_negative_cycles=False,
+            backend=oracle_backend,
+        )
+        if not np.allclose(dist, oracle, equal_nan=True):
+            bad = int(np.sum(~np.isclose(dist, oracle, equal_nan=True)))
+            raise ValidationError(
+                f"distributed result differs from sequential oracle in {bad} entries"
+            )
+
+    var_name = rp.var.value
+    if run_config is not config and run_config.offload:
+        # OOM degradation happened; the schedule shape is preserved, so
+        # a pipelined run lands on offload-pipelined (see
+        # _degrade_to_offload).
+        degraded_to = (
+            Variant.OFFLOAD_PIPELINED if run_config.pipelined else Variant.OFFLOAD
+        )
+        var_name = f"{rp.var.value}->{degraded_to.value}"
+    report = PerfReport.from_run(
+        var_name, rp.n, ctx.cost, rp.placement, elapsed, ctx.mpi, ctx.cluster,
+        tracer,
+    )
+    report.block_size = rp.b
+    verification = None
+    if ctx.verify is not None:
+        audit_dist = dist if config.verify == "full" and dist is not None else None
+        verification = ctx.verify.build_certificate(
+            audit_dist, rp.w if audit_dist is not None else None
+        )
+        report.verification = verification
+        if not verification["passed"]:
+            raise VerificationError(
+                f"verification certificate failed: {verification}"
+            )
+    if obs is not None:
+        from ..obs.collect import finalize_metrics
+
+        finalize_metrics(
+            obs,
+            report=report,
+            mpi=ctx.mpi,
+            cluster=ctx.cluster,
+            cost=ctx.cost,
+            tracer=tracer,
+            injector=injector,
+            verify=ctx.verify,
+            bcast_policy=ctx.bcast_policy.name,
+        )
+        report.metrics = obs.flat()
+    return ApspResult(dist=dist if rp.collect_result else None, report=report,
+                      tracer=tracer,
+                      next_hops=next_hops if rp.collect_result else None,
+                      fault_counters=dict(injector.counters) if injector is not None else None,
+                      verification=verification,
+                      metrics=obs)
+
+
 def apsp(
     weights: np.ndarray,
     *,
@@ -163,6 +543,7 @@ def apsp(
     fault_seed: int = 0,
     verify: str = "off",
     metrics: bool = False,
+    handles: Optional[MachineHandles] = None,
 ) -> ApspResult:
     """Solve all-pairs shortest paths on the simulated cluster.
 
@@ -239,6 +620,12 @@ def apsp(
         instrumentation hook on its zero-cost path; on, the hooks only
         read simulated clocks and operand shapes, so makespans are
         identical either way.
+    handles:
+        Injected :class:`MachineHandles` (shared simulated machine).
+        ``None`` (the default) constructs a private machine, which is
+        the historical single-job behavior.  Injected handles must span
+        at least ``n_nodes`` nodes; ``dim_scale``/``trace`` are then
+        governed by the handles, not these arguments.
 
     Raises
     ------
@@ -247,84 +634,53 @@ def apsp(
         (virtual) HBM - use ``variant="offload"`` (or arm a fault plan
         with ``oom_degrade``, which restarts under offload).
     """
-    w = np.asarray(weights)
-    if w.ndim != 2 or w.shape[0] != w.shape[1]:
-        raise ConfigurationError(f"weights must be square, got {w.shape}")
-    n = w.shape[0]
-    var = Variant.parse(variant)
-
-    if ranks_per_node is None:
-        ranks_per_node = 2 * machine.node.gpus_per_node
-    n_ranks = n_nodes * ranks_per_node
-    if grid is None:
-        pr, pc = near_square_factors(n_ranks)
-        grid = ProcessGrid(pr, pc)
-    elif grid.size != n_ranks:
-        raise ConfigurationError(
-            f"grid {grid.pr}x{grid.pc} has {grid.size} ranks but "
-            f"{n_nodes} nodes x {ranks_per_node} ranks/node = {n_ranks}"
-        )
-    if placement is None:
-        placement = placement_for_variant(var, grid, ranks_per_node)
-    if placement.n_nodes != n_nodes:
-        raise ConfigurationError(
-            f"placement spans {placement.n_nodes} nodes, run requested {n_nodes}"
-        )
-
-    b = block_size if block_size is not None else default_block_size(n, grid)
-    padded, n_orig = pad_to_blocks(w, b, semiring)
-    nb = padded.shape[0] // b
-
-    if not compute_numerics and (validate or collect_result):
-        raise ConfigurationError(
-            "compute_numerics=False runs the simulation hollow; the result "
-            "matrix is meaningless - pass collect_result=False, validate=False"
-        )
-    config = variant_config(
-        var,
-        SolverConfig(
-            block_size=b,
-            semiring=semiring,
-            diag_on_gpu=diag_on_gpu,
-            n_streams=n_streams,
-            mx_blocks=mx_blocks,
-            nx_blocks=nx_blocks,
-            ring_segments=ring_segments,
-            track_paths=track_paths,
-            exploit_sparsity=exploit_sparsity,
-            compute_numerics=compute_numerics,
-            kernel_backend=kernel_backend,
-            verify=verify,
-        ),
+    rp = plan_run(
+        weights,
+        variant=variant,
+        block_size=block_size,
+        machine=machine,
+        n_nodes=n_nodes,
+        ranks_per_node=ranks_per_node,
+        grid=grid,
+        placement=placement,
+        semiring=semiring,
+        diag_on_gpu=diag_on_gpu,
+        n_streams=n_streams,
+        ring_segments=ring_segments,
+        mx_blocks=mx_blocks,
+        nx_blocks=nx_blocks,
+        collect_result=collect_result,
+        validate=validate,
+        check_negative_cycles=check_negative_cycles,
+        compute_numerics=compute_numerics,
+        track_paths=track_paths,
+        exploit_sparsity=exploit_sparsity,
+        kernel_backend=kernel_backend,
+        fault_plan=fault_plan,
+        checkpoint_interval=checkpoint_interval,
+        recv_timeout=recv_timeout,
+        fault_seed=fault_seed,
+        verify=verify,
     )
-    if track_paths and not compute_numerics:
-        raise ConfigurationError("track_paths requires compute_numerics=True")
 
-    plan = resolve_fault_plan(fault_plan, seed=fault_seed)
-    if checkpoint_interval is not None or recv_timeout is not None:
-        overrides: dict[str, object] = {}
-        if checkpoint_interval is not None:
-            overrides["checkpoint_interval"] = checkpoint_interval
-        if recv_timeout is not None:
-            overrides["recv_timeout"] = recv_timeout
-        plan = (plan if plan is not None else FaultPlan(seed=fault_seed)).replace(**overrides)
-        if not plan.armed():
-            plan = None
-    if plan is not None:
-        for c in plan.crashes:
-            if not 0 <= c.rank < n_ranks:
-                raise ConfigurationError(f"crash rank {c.rank} outside world of {n_ranks}")
-
-    env = Environment()
-    tracer = Tracer(enabled=trace)
-    cost = CostModel(machine, dim_scale=dim_scale)
-    cluster = SimCluster(env, machine, n_nodes, cost, tracer if trace else None)
+    if handles is None:
+        handles = MachineHandles.create(machine, n_nodes, dim_scale=dim_scale, trace=trace)
+    elif len(handles.cluster) < n_nodes:
+        raise ConfigurationError(
+            f"injected machine has {len(handles.cluster)} nodes; run needs {n_nodes}"
+        )
+    env = handles.env
+    cluster = handles.cluster
+    cost = handles.cost
+    tracer = handles.tracer
     if stragglers:
         cluster.set_stragglers(stragglers)
-    mpi = SimMPI(env, cluster, [placement.node_of(r) for r in range(n_ranks)],
-                 tracer if trace else None)
-    ctx = FwContext(env, cluster, mpi, grid, placement, config, nb,
-                    tracer if trace else None)
+    n_ranks = rp.n_ranks
+    mpi = SimMPI(env, cluster, [rp.placement.node_of(r) for r in range(n_ranks)],
+                 tracer)
+    ctx = FwContext(env, cluster, mpi, rp.grid, rp.placement, rp.config, rp.nb,
+                    tracer)
+    config = rp.config
     if config.verify != "off":
         from ..verify import ChecksummedBackend, VerifyRuntime
 
@@ -343,68 +699,20 @@ def apsp(
         # (including checksummed kernels); preserves modeled_cost_scale,
         # so kernel durations - and makespans - are unchanged.
         ctx.backend = MeteredBackend(obs, ctx.backend)
+    plan = rp.plan
     injector = None
     if plan is not None:
-        injector = FaultInjector(plan, tracer if trace else None)
+        injector = FaultInjector(plan, tracer)
         injector.attach(mpi)
         mpi.injector = injector
         cluster.injector = injector
         ctx.faults = FaultRuntime(injector, CheckpointStore())
 
-    locals_ = distribute(padded, b, grid)
-    nxt_locals = None
-    if track_paths:
-        from ..semiring.path_kernels import NO_HOP, init_next_hops
+    rp.distribute()
+    locals_ = rp.locals_
+    nxt_locals = rp.nxt_locals
 
-        nxt_global = init_next_hops(padded)
-        np.fill_diagonal(nxt_global, NO_HOP)
-        nxt_locals = distribute(nxt_global, b, grid)
-
-    def teardown_states(states: list[RankState]) -> None:
-        for state in states:
-            if state.hbm_charged:
-                state.gpu.dealloc(state.hbm_charged)
-                state.hbm_charged = 0
-            if state.dram_charged:
-                state.host.dealloc(state.dram_charged)
-                state.dram_charged = 0
-
-    def build_states(cfg: SolverConfig, blocks_by_rank, nxt_by_rank) -> list[RankState]:
-        states = [
-            RankState(ctx, r, blocks_by_rank[r],
-                      nxt=None if nxt_by_rank is None else nxt_by_rank[r])
-            for r in range(n_ranks)
-        ]
-        # -- memory accounting (where Figure 7's feasibility wall comes from)
-        try:
-            for state in states:
-                elems = local_matrix_elems(state.me, nb, b, grid)
-                rows = len(state.local_rows())
-                cols = len(state.local_cols())
-                assert elems == rows * cols * b * b
-                if cfg.offload:
-                    state.dram_charged = int(cost.bytes_of(rows * b, cols * b))
-                    state.host.alloc(state.dram_charged, "local distance matrix")
-                    state.hbm_charged = state.gpu.alloc(
-                        offload_gpu_footprint(state), f"rank {state.me} offload buffers"
-                    )
-                else:
-                    footprint = (
-                        cost.gpu_bytes(rows * b, cols * b)  # local matrix
-                        + cost.gpu_bytes(b, cols * b)  # received row panel
-                        + cost.gpu_bytes(rows * b, b)  # received column panel
-                        + cost.gpu_bytes(b, b)  # diagonal block
-                    )
-                    if track_paths:
-                        # int64 pointer blocks cost 2x the float32 distances.
-                        footprint *= 3
-                    state.hbm_charged = state.gpu.alloc(
-                        footprint, f"rank {state.me} matrix+panels"
-                    )
-        except GpuOutOfMemory:
-            teardown_states(states)  # roll back the partial charges
-            raise
-        return states
+    build_states, teardown_states = make_state_builders(ctx, rp)
 
     run_config = config
     if ctx.faults is None:
@@ -422,77 +730,10 @@ def apsp(
             build_states, teardown_states, program_for_config,
         )
 
-    dist = None
-    next_hops = None
-    if collect_result or validate:
-        dist = collect([s.blocks for s in states], n_orig, b, grid)
-        if track_paths:
-            next_hops = collect([s.nxt for s in states], n_orig, b, grid)
-        if check_negative_cycles and semiring is MIN_PLUS:
-            check_no_negative_cycle(dist)
-    if validate:
-        # The oracle runs on the *unwrapped* kernel: same numerics,
-        # minus the checksumming (its temporaries are untracked anyway)
-        # and minus the metering (oracle flops are not the run's work).
-        if ctx.verify is not None:
-            oracle_backend = ctx.verify.inner
-        else:
-            oracle_backend = ctx.backend.inner if obs is not None else ctx.backend
-        oracle = blocked_fw(
-            w, b, semiring=semiring, check_negative_cycles=False, backend=oracle_backend
-        )
-        if not np.allclose(dist, oracle, equal_nan=True):
-            bad = int(np.sum(~np.isclose(dist, oracle, equal_nan=True)))
-            raise ValidationError(
-                f"distributed result differs from sequential oracle in {bad} entries"
-            )
-
-    var_name = var.value
-    if run_config is not config and run_config.offload:
-        # OOM degradation happened; the schedule shape is preserved, so
-        # a pipelined run lands on offload-pipelined (see
-        # _degrade_to_offload).
-        degraded_to = (
-            Variant.OFFLOAD_PIPELINED if run_config.pipelined else Variant.OFFLOAD
-        )
-        var_name = f"{var.value}->{degraded_to.value}"
-    report = PerfReport.from_run(
-        var_name, n, cost, placement, elapsed, mpi, cluster,
-        tracer if trace else None,
+    return build_result(
+        ctx, rp, states, elapsed, run_config,
+        obs=obs, injector=injector, tracer=tracer,
     )
-    report.block_size = b
-    verification = None
-    if ctx.verify is not None:
-        audit_dist = dist if config.verify == "full" and dist is not None else None
-        verification = ctx.verify.build_certificate(
-            audit_dist, w if audit_dist is not None else None
-        )
-        report.verification = verification
-        if not verification["passed"]:
-            raise VerificationError(
-                f"verification certificate failed: {verification}"
-            )
-    if obs is not None:
-        from ..obs.collect import finalize_metrics
-
-        finalize_metrics(
-            obs,
-            report=report,
-            mpi=mpi,
-            cluster=cluster,
-            cost=cost,
-            tracer=tracer if trace else None,
-            injector=injector,
-            verify=ctx.verify,
-            bcast_policy=ctx.bcast_policy.name,
-        )
-        report.metrics = obs.flat()
-    return ApspResult(dist=dist if collect_result else None, report=report,
-                      tracer=tracer if trace else None,
-                      next_hops=next_hops if collect_result else None,
-                      fault_counters=dict(injector.counters) if injector is not None else None,
-                      verification=verification,
-                      metrics=obs)
 
 
 def _run_with_recovery(

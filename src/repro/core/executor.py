@@ -502,7 +502,7 @@ class HostResident(ResidencyPolicy):
                              env.skip_rows, env.skip_cols)
         pipe = run_oog_pipeline(
             ctx.env, state.gpu, state.host, tiles, ctx.config.n_streams,
-            label=f"r{state.me}.oog{k}",
+            label=f"r{state.me}.oog{k}", tracer=ctx.tracer,
         )
         if ctx.obs is not None:
             pipe = _observed_oog(ctx.obs, pipe)

@@ -82,6 +82,7 @@ def run_oog_pipeline(
     tiles: list[TileTask],
     n_streams: int,
     label: str = "ooGSrGemm",
+    tracer=None,
 ):
     """Generator: run the tile pipeline; returns :class:`OogStats`.
 
@@ -98,7 +99,7 @@ def run_oog_pipeline(
         stats.end = env.now
         return stats
 
-    streams = [gpu.stream(f"{label}.s{r}") for r in range(n_streams)]
+    streams = [gpu.stream(f"{label}.s{r}", tracer=tracer) for r in range(n_streams)]
     h2d_done: dict[object, Event] = {}
     d2h_events: list[Optional[Event]] = [None] * len(tiles)
 

@@ -21,6 +21,7 @@ VerificationError            11
 SinkError                    12
 FaultPlanError               13
 InternalError                14
+AdmissionError               15
 =========================  ====
 
 :class:`InternalError` is the catch-all for *unexpected* exceptions
@@ -48,6 +49,7 @@ __all__ = [
     "SinkError",
     "FaultPlanError",
     "InternalError",
+    "AdmissionError",
     "exit_code_for",
 ]
 
@@ -226,6 +228,18 @@ class InternalError(ReproError):
         super().__init__(message)
 
 
+class AdmissionError(ReproError):
+    """The cluster scheduler refused a job at admission control: its
+    memory demand can never fit the fleet, or the perf model predicts
+    it would blow the configured makespan limit.  Carries the
+    human-readable refusal ``reason``."""
+
+    def __init__(self, job_name: str, reason: str):
+        self.job_name = job_name
+        self.reason = reason
+        super().__init__(f"job {job_name!r} rejected at admission: {reason}")
+
+
 #: (class, code) pairs ordered most-specific first - several classes
 #: subclass others, so order is significant for the isinstance scan.
 _EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
@@ -242,6 +256,7 @@ _EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
     (CheckpointError, 9),
     (SilentCorruptionError, 10),
     (InternalError, 14),
+    (AdmissionError, 15),
 )
 
 

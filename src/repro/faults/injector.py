@@ -205,12 +205,20 @@ class FaultInjector:
         src_node = mpi.rank_to_node[src_world]
         dst_node = mpi.rank_to_node[dst_world]
         yield from mpi.cluster.transfer(
-            dst_node, src_node, CTRL_NBYTES, label=f"rereq r{dst_world}->r{src_world} t{tag}"
+            dst_node,
+            src_node,
+            CTRL_NBYTES,
+            label=f"rereq r{dst_world}->r{src_world} t{tag}",
+            injector=self,
         )
         if msg is None:
             return False
         yield from mpi.cluster.transfer(
-            src_node, dst_node, msg.nbytes, label=f"rexmit r{src_world}->r{dst_world} t{tag}"
+            src_node,
+            dst_node,
+            msg.nbytes,
+            label=f"rexmit r{src_world}->r{dst_world} t{tag}",
+            injector=self,
         )
         self.count("faults.retransmits")
         if self.first_delivery(dst_world, msg.src, msg.seq):

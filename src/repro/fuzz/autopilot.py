@@ -41,14 +41,21 @@ SHRINKABLE_FAMILIES = ("crash", "equivalence", "determinism", "certificate")
 
 
 class CoverageMap:
-    """(variant x fault-class x verify-mode) hit counters.
+    """(variant x fault-class x verify-mode) hit counters, plus
+    class-*pair* cells for multi-fault scenarios.
 
     Backed by a :class:`~repro.obs.MetricsRegistry` so the coverage
     snapshot rides the existing metrics export format (and tests can
-    assert on it like any other instrumented counter).
+    assert on it like any other instrumented counter).  A scenario that
+    stacks several fault classes (see
+    :class:`~repro.fuzz.generator.GeneratorConfig.p_multi_fault`)
+    credits every per-class cell *and* every unordered class pair under
+    ``fuzz.pairs.<variant>.<a>+<b>.<verify>`` - the map of which
+    recovery-path *combinations* have actually been exercised.
     """
 
     PREFIX = "fuzz.coverage"
+    PAIR_PREFIX = "fuzz.pairs"
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         self.registry = registry or MetricsRegistry()
@@ -57,31 +64,55 @@ class CoverageMap:
     def _cell(cls, variant: str, fault_class: str, verify: str) -> str:
         return f"{cls.PREFIX}.{variant}.{fault_class}.{verify}"
 
+    @classmethod
+    def _pair_cell(cls, variant: str, class_a: str, class_b: str, verify: str) -> str:
+        a, b = sorted((class_a, class_b))
+        return f"{cls.PAIR_PREFIX}.{variant}.{a}+{b}.{verify}"
+
     def record(self, scenario: Scenario) -> None:
-        for fault_class in scenario.fault_classes():
+        classes = scenario.fault_classes()
+        for fault_class in classes:
             self.registry.counter(
                 self._cell(scenario.variant, fault_class, scenario.verify)
             ).inc()
+        for i, class_a in enumerate(classes):
+            for class_b in classes[i + 1 :]:
+                self.registry.counter(
+                    self._pair_cell(scenario.variant, class_a, class_b, scenario.verify)
+                ).inc()
 
     def hits(self, variant: str, fault_class: str, verify: str) -> float:
         return self.registry.value(self._cell(variant, fault_class, verify))
 
+    def pair_hits(self, variant: str, class_a: str, class_b: str, verify: str) -> float:
+        return self.registry.value(self._pair_cell(variant, class_a, class_b, verify))
+
     def cells(self) -> dict[tuple[str, str, str], float]:
+        return self._cells_under(self.PREFIX)
+
+    def pair_cells(self) -> dict[tuple[str, str, str], float]:
+        """(variant, "a+b", verify) -> hits for multi-class scenarios."""
+        return self._cells_under(self.PAIR_PREFIX)
+
+    def _cells_under(self, prefix: str) -> dict[tuple[str, str, str], float]:
         out: dict[tuple[str, str, str], float] = {}
         for name in self.registry.names():
-            if not name.startswith(self.PREFIX + "."):
+            if not name.startswith(prefix + "."):
                 continue
-            parts = name[len(self.PREFIX) + 1 :].rsplit(".", 2)
+            parts = name[len(prefix) + 1 :].rsplit(".", 2)
             if len(parts) == 3:
                 out[tuple(parts)] = self.registry.value(name)
         return out
 
     def summary(self) -> dict:
         cells = self.cells()
+        pairs = self.pair_cells()
         return {
             "cells_hit": len(cells),
             "hits": sum(cells.values()),
             "max_hits": max(cells.values(), default=0),
+            "pair_cells_hit": len(pairs),
+            "pair_hits": sum(pairs.values()),
         }
 
 

@@ -24,6 +24,13 @@ validation":
 With a :class:`~repro.fuzz.autopilot.CoverageMap` attached, each draw
 first picks a target (variant x fault-class x verify) cell weighted by
 1/(1+hits) - the chaos-autopilot bias toward under-covered regions.
+
+Armed scenarios may additionally *stack* 1-2 companion fault classes
+(``p_multi_fault``): a crash during a NIC brownout, a memory flip while
+a straggler slows recovery.  Each class contributes its own specs; the
+policies merge into one ``policy:`` spec with the primary class winning
+key conflicts.  Class-pair coverage accrues under the map's
+``fuzz.pairs`` cells.
 """
 
 from __future__ import annotations
@@ -98,6 +105,13 @@ class GeneratorConfig:
     #: Probability that a scenario arms any faults at all (ignored when
     #: coverage steering picks the class).
     p_faulted: float = 0.65
+    #: Probability an armed scenario stacks 1-2 *extra* fault classes on
+    #: top of the primary one (crash during a NIC brownout, memflip
+    #: while a straggler slows recovery, ...).  Class-pair coverage is
+    #: tracked separately under ``fuzz.pairs`` cells.
+    p_multi_fault: float = 0.35
+    #: Ceiling on distinct fault classes per scenario.
+    max_fault_classes: int = 3
     #: Probability a scenario double-runs for the determinism oracle.
     p_determinism: float = 0.25
     #: Probability of exploiting block sparsity on sparse graphs.
@@ -134,7 +148,8 @@ class ScenarioGenerator:
             int(rng.integers(len(cfg.cluster_shapes)))
         ]
         ranks = n_nodes * ranks_per_node
-        fault_specs = self._draw_faults(fault_class, ranks, n_nodes, n, block_size)
+        fault_classes = self._pick_companions(fault_class)
+        fault_specs = self._draw_faults(fault_classes, ranks, n_nodes, n, block_size)
         sparse_kinds = ("erdos-renyi", "banded", "grid-road", "ring-cliques")
         scenario = Scenario(
             graph=graph,
@@ -205,12 +220,48 @@ class ScenarioGenerator:
             )
         return GraphSpec(kind=kind, n=n, seed=seed)
 
-    def _draw_faults(
-        self, fault_class: str, ranks: int, n_nodes: int, n: int, b: int
-    ) -> list[str]:
+    def _pick_companions(self, fault_class: str) -> list[str]:
+        """The scenario's full class list: the (coverage-steered)
+        primary class, plus 0-2 extra armed classes with probability
+        ``p_multi_fault`` - multi-fault scenarios are where recovery
+        paths compose (and where class-*pair* coverage accrues)."""
         rng = self.rng
+        cfg = self.config
         if fault_class == "none":
             return []
+        classes = [fault_class]
+        others = [c for c in cfg.fault_classes if c not in ("none", fault_class)]
+        if others and rng.random() < cfg.p_multi_fault:
+            n_extra = int(rng.integers(1, cfg.max_fault_classes))
+            n_extra = min(n_extra, len(others))
+            extras = rng.choice(len(others), size=n_extra, replace=False)
+            classes.extend(others[int(i)] for i in extras)
+        return classes
+
+    def _draw_faults(
+        self, fault_classes: Sequence[str], ranks: int, n_nodes: int, n: int, b: int
+    ) -> list[str]:
+        """Concrete specs for every class, with one *merged* policy
+        spec: the primary class's policy keys win on conflict, later
+        classes only fill gaps (so e.g. a deliberately unrecoverable
+        crash's ``restarts=0`` survives an OOM companion)."""
+        specs: list[str] = []
+        policy: dict[str, str] = {}
+        for fault_class in fault_classes:
+            class_specs, class_policy = self._class_faults(
+                fault_class, ranks, n_nodes, n, b
+            )
+            specs.extend(class_specs)
+            for key, value in class_policy.items():
+                policy.setdefault(key, value)
+        if policy:
+            specs.append("policy:" + ",".join(f"{k}={v}" for k, v in policy.items()))
+        return specs
+
+    def _class_faults(
+        self, fault_class: str, ranks: int, n_nodes: int, n: int, b: int
+    ) -> tuple[list[str], dict[str, str]]:
+        rng = self.rng
         nb = max(1, -(-n // b))
         specs: list[str] = []
         policy: dict[str, str] = {}
@@ -268,6 +319,4 @@ class ScenarioGenerator:
             if target == "checkpoint" or rng.random() < 0.5:
                 policy["ckpt"] = str(int(rng.choice([1, 2])))
                 policy["restarts"] = str(int(rng.integers(2, 5)))
-        if policy:
-            specs.append("policy:" + ",".join(f"{k}={v}" for k, v in policy.items()))
-        return specs
+        return specs, policy

@@ -95,14 +95,27 @@ class SimCluster:
     def __len__(self) -> int:
         return len(self.nodes)
 
-    def transfer(self, src_node: int, dst_node: int, nbytes_virtual: float, label: str = "msg"):
+    def transfer(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes_virtual: float,
+        label: str = "msg",
+        injector=None,
+    ):
         """Generator: move a message between nodes (or within one).
 
         Completes when the message has been delivered; the caller (the
         MPI layer) then enqueues it at the destination rank.  Returns
         the simulated transfer duration (excluding queueing).
+
+        ``injector`` scopes NIC-degradation windows to the calling
+        job's fault injector; when omitted, the cluster-wide injector
+        (armed by the single-job driver) applies.
         """
         node = self.nodes[src_node]
+        if injector is None:
+            injector = self.injector
         if src_node == dst_node:
             channel = node.intra_channel
             duration = self.cost.intranode_transfer_time(nbytes_virtual)
@@ -112,9 +125,9 @@ class SimCluster:
         else:
             channel = node.nic_tx
             duration = self.cost.internode_transfer_time(nbytes_virtual) * node.nic_slowdown
-            if self.injector is not None:
+            if injector is not None:
                 # NIC degradation window: bandwidth x factor over [t0, t1].
-                duration *= self.injector.nic_factor(src_node, self.env.now)
+                duration *= injector.nic_factor(src_node, self.env.now)
             latency = self.cost.internode_latency
             node.nic_bytes_sent += nbytes_virtual
             category = "nic_xfer"

@@ -88,9 +88,15 @@ class SimGPU:
         self._allocated -= nbytes
 
     # -- streams -----------------------------------------------------------
-    def stream(self, name: Optional[str] = None) -> "CudaStream":
+    def stream(self, name: Optional[str] = None, tracer: Optional[Tracer] = None) -> "CudaStream":
+        """Create an in-order stream.  ``tracer`` overrides the device
+        tracer for spans of this stream's ops - the scheduler passes a
+        job-scoped tracer here so a shared GPU's engine spans land in
+        per-job Perfetto lanes."""
         self._stream_count += 1
-        return CudaStream(self, name or f"{self.name}.s{self._stream_count - 1}")
+        return CudaStream(
+            self, name or f"{self.name}.s{self._stream_count - 1}", tracer=tracer
+        )
 
 
 class CudaStream:
@@ -101,12 +107,19 @@ class CudaStream:
     work (the cudaStream programming model the paper's §4.3 uses).
     """
 
-    def __init__(self, gpu: SimGPU, name: str):
+    def __init__(self, gpu: SimGPU, name: str, tracer: Optional[Tracer] = None):
         self.gpu = gpu
         self.name = name
+        #: Per-stream tracer override; ``None`` falls through to the
+        #: device tracer at span-recording time.
+        self._tracer = tracer
         done = Event(gpu.env)
         done.succeed()
         self._tail: Event = done
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self._tracer if self._tracer is not None else self.gpu.tracer
 
     # -- generic submission machinery ---------------------------------------
     def _submit(
@@ -128,12 +141,12 @@ class CudaStream:
                 yield dep
             start_req = env.now
             yield from engine.use(duration)
-            if self.gpu.tracer is not None:
+            if self.tracer is not None:
                 # The span covers engine occupancy, not queueing.
-                self.gpu.tracer.record(engine.name, category, label, env.now - duration, env.now)
-                self.gpu.tracer.add(f"{category}.time", duration)
-                self.gpu.tracer.add(f"{category}.count")
-                self.gpu.tracer.add(f"{category}.wait", env.now - duration - start_req)
+                self.tracer.record(engine.name, category, label, env.now - duration, env.now)
+                self.tracer.add(f"{category}.time", duration)
+                self.tracer.add(f"{category}.count")
+                self.tracer.add(f"{category}.wait", env.now - duration - start_req)
             return fn() if fn is not None else None
 
         proc = env.process(op(), name=f"{self.name}:{label}")

@@ -170,7 +170,11 @@ class SimMPI:
             seq = injector.next_seq(src, dst)
             checksum = payload_checksum(buffered)
         yield from self.cluster.transfer(
-            src_node, dst_node, nbytes, label=f"r{src}->r{dst} t{tag}"
+            src_node,
+            dst_node,
+            nbytes,
+            label=f"r{src}->r{dst} t{tag}",
+            injector=injector,
         )
         if src_node == dst_node:
             self.bytes_intranode += nbytes

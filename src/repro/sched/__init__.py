@@ -1,0 +1,37 @@
+"""Multi-tenant cluster scheduling: jobs, admission, fair share.
+
+The one-job engine (:func:`repro.solve` / :func:`repro.core.driver.apsp`)
+solves a single APSP on a private simulated machine.  This subpackage
+turns the same machinery into a *shared-cluster job runtime*: a
+:class:`ClusterScheduler` owns one simulated machine, admits first-class
+:class:`~repro.sched.job.Job` objects against perf-model capacity
+predictions, arbitrates contended GPUs and NICs by priority-weighted
+fair share, and runs every admitted job concurrently with per-job fault
+isolation and per-job observability.
+
+See docs/SCHEDULING.md for the job model, admission-control and
+fair-share semantics, and the Perfetto recipe for fleet traces.
+"""
+
+from .admission import AdmissionController, Assessment, JobDemand, assess, demand_of
+from .arbiter import FairShareArbiter
+from .job import Job, JobHandle, JobReport, JobStatus
+from .scheduler import ClusterScheduler
+from .spec import build_graph, load_job_mix, run_job_mix
+
+__all__ = [
+    "AdmissionController",
+    "Assessment",
+    "ClusterScheduler",
+    "FairShareArbiter",
+    "Job",
+    "JobDemand",
+    "JobHandle",
+    "JobReport",
+    "JobStatus",
+    "assess",
+    "build_graph",
+    "demand_of",
+    "load_job_mix",
+    "run_job_mix",
+]

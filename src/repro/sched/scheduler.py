@@ -1,0 +1,405 @@
+"""The shared-cluster job scheduler.
+
+One :class:`ClusterScheduler` owns one simulated machine
+(:class:`~repro.core.driver.MachineHandles`) and runs N submitted jobs
+*concurrently on it*: every job gets a private MPI world and solver
+context, but GPUs, NICs and intranode channels are the same simulated
+resources, so contention, queueing and interference emerge from the
+simulation instead of being assumed.
+
+The moving parts:
+
+* **admission** (:mod:`repro.sched.admission`) - jobs are priced from
+  their resolved :class:`~repro.core.driver.RunPlan` and either
+  admitted, queued until capacity frees, or rejected
+  (:class:`~repro.errors.AdmissionError`);
+* **arbitration** (:mod:`repro.sched.arbiter`) - contended resources
+  grant by priority-weighted fair share instead of FIFO;
+* **execution** (:mod:`repro.sched.runner`) - each admitted job is one
+  supervised coroutine; failures are isolated per job;
+* **observability** - fleet metrics (utilization, queue depth, per-job
+  p50/p99 latency) in a :class:`~repro.obs.metrics.MetricsRegistry`,
+  and job-tagged spans in one fleet tracer whose Chrome-trace export
+  interleaves per-job Perfetto lanes (``jobA.rank0``,
+  ``jobB.node0.gpu0.kernel``, ...).
+
+Degenerate schedules are exact: submitting a single job reproduces the
+unscheduled engine event-for-event - same distance bits, same makespan
+(pinned against the recorded values in ``tests/test_sched.py``).
+
+Typical use::
+
+    from repro.sched import ClusterScheduler
+
+    sched = ClusterScheduler(n_nodes=2)
+    a = sched.submit(w1, variant="async", block_size=5, name="tenantA",
+                     priority=1, n_nodes=2, ranks_per_node=3)
+    b = sched.submit(w2, variant="offload", block_size=8, name="tenantB",
+                     n_nodes=2, ranks_per_node=3)
+    sched.run()
+    print(a.report().elapsed, b.report().elapsed)
+    print(sched.fleet_metrics().flat()["fleet.gpu.utilization"])
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..api import SolveConfig, resolve_machine
+from ..core.driver import MachineHandles, plan_run
+from ..core.grid import ProcessGrid
+from ..errors import AdmissionError, ConfigurationError, RankFailure
+from .admission import AdmissionController, assess
+from .arbiter import FairShareArbiter
+from .job import Job, JobHandle, JobStatus
+from .runner import job_process
+
+__all__ = ["ClusterScheduler"]
+
+
+class ClusterScheduler:
+    """Admit, arbitrate and run jobs on one shared simulated cluster."""
+
+    def __init__(
+        self,
+        machine="summit",
+        n_nodes: int = 1,
+        *,
+        dim_scale: float = 1.0,
+        trace: bool = False,
+        makespan_limit: Optional[float] = None,
+        failure_grace: float = 0.05,
+    ):
+        self.machine = resolve_machine(machine)
+        self.n_nodes = n_nodes
+        self.dim_scale = dim_scale
+        self.handles = MachineHandles.create(
+            self.machine, n_nodes, dim_scale=dim_scale, trace=trace
+        )
+        #: Simulated seconds between a job's first rank failure and the
+        #: reaper interrupting its still-blocked ranks (see runner).
+        self.failure_grace = failure_grace
+        self.arbiter = FairShareArbiter()
+        for node in self.handles.cluster.nodes:
+            node.nic_tx.arbiter = self.arbiter
+            node.intra_channel.arbiter = self.arbiter
+            node.host.dram.arbiter = self.arbiter
+            for gpu in node.gpus:
+                gpu.kernel_engine.arbiter = self.arbiter
+                gpu.h2d_engine.arbiter = self.arbiter
+                gpu.d2h_engine.arbiter = self.arbiter
+        self.admission = AdmissionController(
+            self.machine, n_nodes, self.handles.cost, makespan_limit
+        )
+        from ..obs import MetricsRegistry
+
+        self.obs = MetricsRegistry()
+        self.jobs: list[Job] = []
+        self._queue: list[Job] = []
+        self._accounted: set[int] = set()
+        self._next_id = 0
+
+    # -- convenience views --------------------------------------------------
+    @property
+    def env(self):
+        return self.handles.env
+
+    @property
+    def cluster(self):
+        return self.handles.cluster
+
+    @property
+    def tracer(self):
+        return self.handles.tracer
+
+    # -- what-if (no graph required) ----------------------------------------
+    def assess(self, n: float, n_nodes: Optional[int] = None,
+               ranks_per_node: int = 12):
+        """Shape-level feasibility + predicted makespan on this fleet's
+        machine model (see :func:`repro.sched.admission.assess`)."""
+        return assess(
+            n,
+            self.n_nodes if n_nodes is None else n_nodes,
+            ranks_per_node,
+            machine=self.machine,
+            dim_scale=self.dim_scale,
+        )
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        graph,
+        config: Optional[SolveConfig] = None,
+        *,
+        name: Optional[str] = None,
+        priority: int = 0,
+        weight: float = 1.0,
+        arrival: float = 0.0,
+        **overrides,
+    ) -> JobHandle:
+        """Submit a job; returns a :class:`~repro.sched.job.JobHandle`.
+
+        ``config``/``overrides`` carry the same vocabulary as
+        :func:`repro.solve`.  ``arrival`` is the simulated time the job
+        reaches the cluster (jobs with ``arrival <= now`` are admitted
+        synchronously, so a lone immediate job lowers to the degenerate
+        one-job schedule with zero scheduler events).  Configuration
+        errors raise immediately; admission *rejections* come back as a
+        REJECTED handle carrying an
+        :class:`~repro.errors.AdmissionError` (exit code 15).
+        """
+        if config is None:
+            config = SolveConfig()
+        if not isinstance(config, SolveConfig):
+            raise ConfigurationError(
+                f"config must be a SolveConfig, got {type(config).__name__}"
+            )
+        if overrides:
+            config = config.replace(**overrides)
+        config.obs.validate()
+        if resolve_machine(config.machine).name != self.machine.name:
+            raise ConfigurationError(
+                f"job machine {resolve_machine(config.machine).name!r} differs from "
+                f"the fleet's {self.machine.name!r}; one scheduler = one machine model"
+            )
+        if config.dim_scale != self.dim_scale:
+            raise ConfigurationError(
+                f"job dim_scale {config.dim_scale} differs from the fleet's "
+                f"{self.dim_scale}; virtual scaling is a machine-level property"
+            )
+        if config.stragglers:
+            raise ConfigurationError(
+                "per-job stragglers are not supported on a shared cluster; "
+                "use ClusterScheduler.cluster.set_stragglers for fleet-level ones"
+            )
+        grid = None
+        if config.grid is not None:
+            pr, pc = config.grid
+            grid = ProcessGrid(pr, pc)
+        rp = plan_run(
+            np.asarray(graph),
+            variant=config.variant,
+            block_size=config.block_size,
+            machine=self.machine,
+            n_nodes=config.n_nodes,
+            ranks_per_node=config.ranks_per_node,
+            grid=grid,
+            diag_on_gpu=config.diag_on_gpu,
+            n_streams=config.n_streams,
+            ring_segments=config.ring_segments,
+            mx_blocks=config.mx_blocks,
+            nx_blocks=config.nx_blocks,
+            collect_result=config.collect,
+            validate=config.validate,
+            check_negative_cycles=config.check_negative_cycles,
+            compute_numerics=config.compute_numerics,
+            track_paths=config.track_paths,
+            exploit_sparsity=config.exploit_sparsity,
+            kernel_backend=config.kernel_backend,
+            fault_plan=config.fault_plan,
+            checkpoint_interval=config.checkpoint_interval,
+            recv_timeout=config.recv_timeout,
+            fault_seed=config.fault_seed,
+            verify=config.verify,
+        )
+        job = Job(
+            job_id=self._next_id,
+            name=name or f"job{self._next_id}",
+            weights=rp.w,
+            config=config,
+            rp=rp,
+            priority=priority,
+            weight=weight,
+            submit_at=max(arrival, self.env.now),
+        )
+        self._next_id += 1
+        self.jobs.append(job)
+        self.obs.counter("fleet.jobs.submitted").inc()
+        if job.submit_at > self.env.now:
+            self.env.process(self._arrival(job), name=f"{job.name}.arrival")
+        else:
+            self._admit_or_queue(job)
+        return JobHandle(self, job)
+
+    def _arrival(self, job: Job):
+        yield self.env.timeout(job.submit_at - self.env.now)
+        self._admit_or_queue(job)
+
+    def _admit_or_queue(self, job: Job) -> None:
+        job.submitted_at = self.env.now
+        verdict, reason, demand = self.admission.check(job.rp)
+        job.demand = demand
+        job.reason = reason
+        if verdict == "reject":
+            job.status = JobStatus.REJECTED
+            job.error = AdmissionError(job.name, reason)
+            job.finished_at = self.env.now
+            self.obs.counter("fleet.jobs.rejected").inc()
+            self._account(job)
+            return
+        if verdict == "queue":
+            job.status = JobStatus.QUEUED
+            self._queue.append(job)
+            self.obs.counter("fleet.jobs.queued").inc()
+            self.obs.gauge("fleet.queue.depth").set(float(len(self._queue)))
+            return
+        self._start(job)
+
+    def _start(self, job: Job) -> None:
+        self.admission.reserve(job.demand)
+        self.arbiter.register(job, job.priority, job.weight)
+        job.status = JobStatus.RUNNING
+        self.obs.counter("fleet.jobs.admitted").inc()
+        self.env.process(job_process(self, job), name=f"{job.name}.runner", scope=job)
+
+    def _on_job_finished(self, job: Job) -> None:
+        """Runner callback: release capacity, record, retry the queue."""
+        self.admission.release(job.demand)
+        self.arbiter.unregister(job)
+        tracer = self.handles.tracer
+        if tracer is not None and job.started_at is not None:
+            tracer.record(
+                "fleet.jobs",
+                "job",
+                f"{job.name} p{job.priority} {job.status.value}",
+                job.started_at,
+                job.finished_at if job.finished_at is not None else self.env.now,
+            )
+        self._account(job)
+        self._drain_queue()
+
+    def _account(self, job: Job) -> None:
+        if job.job_id in self._accounted or not job.done:
+            return
+        self._accounted.add(job.job_id)
+        if job.status is JobStatus.DONE:
+            self.obs.counter("fleet.jobs.completed").inc()
+            self.obs.histogram("fleet.job.latency").observe(job.latency)
+            self.obs.histogram("fleet.job.queue_wait").observe(job.queue_wait)
+        elif job.status is JobStatus.FAILED:
+            self.obs.counter("fleet.jobs.failed").inc()
+
+    def _drain_queue(self) -> bool:
+        """Admit whatever now fits, highest priority first (FIFO within
+        a priority level).  Returns True if anything started."""
+        started = False
+        for job in sorted(self._queue, key=lambda j: (-j.priority, j.job_id)):
+            verdict, reason, demand = self.admission.check(job.rp)
+            job.demand = demand
+            job.reason = reason
+            if verdict == "admit":
+                self._queue.remove(job)
+                started = True
+                self._start(job)
+            elif verdict == "reject":  # pragma: no cover - capacity shrank?
+                self._queue.remove(job)
+                job.status = JobStatus.REJECTED
+                job.error = AdmissionError(job.name, reason)
+                job.finished_at = self.env.now
+                self.obs.counter("fleet.jobs.rejected").inc()
+                self._account(job)
+        self.obs.gauge("fleet.queue.depth").set(float(len(self._queue)))
+        return started
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until_job: Optional[Job] = None) -> list:
+        """Run the shared simulation until every job is terminal (or
+        ``until_job`` is).  Deadlocked worlds - a job whose surviving
+        ranks block on a peer that died without a receive timeout - are
+        kicked (interrupted with :class:`~repro.errors.RankFailure`)
+        once the event heap drains, mirroring the single-job driver's
+        stuck-rank handling.  Returns the fleet's job reports.
+        """
+        while True:
+            self.env.run()
+            if until_job is not None and until_job.done:
+                break
+            running = [j for j in self.jobs if j.status is JobStatus.RUNNING]
+            if running:
+                kicked = False
+                for j in running:
+                    for p in j.procs:
+                        if p.is_alive:
+                            kicked = True
+                            p.interrupt(
+                                RankFailure("world deadlocked: peer will never send")
+                            )
+                if kicked:
+                    continue
+                break  # pragma: no cover - runner stuck without live ranks
+            if self._queue:
+                if self._drain_queue():
+                    continue
+                for job in list(self._queue):  # pragma: no cover - defensive
+                    self._queue.remove(job)
+                    job.status = JobStatus.REJECTED
+                    reason = f"unschedulable: {job.reason or 'capacity never freed'}"
+                    job.reason = reason
+                    job.error = AdmissionError(job.name, reason)
+                    job.finished_at = self.env.now
+                    self.obs.counter("fleet.jobs.rejected").inc()
+                    self._account(job)
+            break
+        self._finalize_fleet_metrics()
+        return [j.report() for j in self.jobs]
+
+    # -- fleet observability ------------------------------------------------
+    def _finalize_fleet_metrics(self) -> None:
+        makespan = self.env.now
+        self.obs.gauge("fleet.makespan").set(makespan)
+        cluster = self.handles.cluster
+        kernel_busy = sum(
+            gpu.kernel_engine.total_busy_time
+            for node in cluster.nodes
+            for gpu in node.gpus
+        )
+        n_gpus = len(cluster.nodes) * self.machine.node.gpus_per_node
+        self.obs.gauge("fleet.gpu.busy_seconds").set(kernel_busy)
+        self.obs.gauge("fleet.gpu.utilization").set(
+            kernel_busy / (n_gpus * makespan) if makespan > 0 else 0.0
+        )
+        nic_busy = sum(node.nic_tx.total_busy_time for node in cluster.nodes)
+        self.obs.gauge("fleet.nic.utilization").set(
+            nic_busy / (len(cluster.nodes) * makespan) if makespan > 0 else 0.0
+        )
+        latencies = sorted(
+            j.latency for j in self.jobs if j.status is JobStatus.DONE
+        )
+        if latencies:
+            self.obs.gauge("fleet.job.latency.p50").set(_percentile(latencies, 0.50))
+            self.obs.gauge("fleet.job.latency.p99").set(_percentile(latencies, 0.99))
+        waits = sorted(j.queue_wait for j in self.jobs if j.status is JobStatus.DONE)
+        if waits:
+            self.obs.gauge("fleet.job.queue_wait.p50").set(_percentile(waits, 0.50))
+            self.obs.gauge("fleet.job.queue_wait.p99").set(_percentile(waits, 0.99))
+
+    def fleet_metrics(self):
+        """The fleet's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.obs
+
+    def chrome_trace(self, run_name: str = "repro fleet") -> dict:
+        """Chrome ``trace_event`` JSON of the whole fleet: per-job rank
+        and engine lanes interleave (``jobA.rank0``, ``jobB.rank0``,
+        shared ``node0.nic``), which is the Perfetto view of
+        multi-tenancy.  Requires ``trace=True`` at construction."""
+        if self.handles.tracer is None:
+            raise ConfigurationError(
+                "fleet tracing is off; construct ClusterScheduler(trace=True)"
+            )
+        from ..obs.export import chrome_trace
+
+        return chrome_trace(self.handles.tracer, run_name=run_name)
+
+    def reports(self) -> list:
+        return [j.report() for j in self.jobs]
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile of an ascending list (no numpy dance)."""
+    if not sorted_values:
+        return 0.0
+    idx = max(0, min(len(sorted_values) - 1,
+                     int(-(-q * len(sorted_values) // 1)) - 1))
+    return float(sorted_values[idx])

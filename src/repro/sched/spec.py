@@ -1,0 +1,124 @@
+"""Job-mix specifications: a JSON document describing a whole workload.
+
+The ``repro-apsp sched`` subcommand runs one of these end to end; the
+benchmark and the CI ``sched`` job use the same vocabulary.  Shape::
+
+    {
+      "machine": "summit",
+      "n_nodes": 2,
+      "trace": false,
+      "makespan_limit": null,
+      "jobs": [
+        {
+          "name": "tenantA",
+          "graph": {"kind": "uniform_random_dense", "n": 30, "seed": 0},
+          "priority": 1,
+          "weight": 1.0,
+          "arrival": 0.0,
+          "config": {"variant": "async", "block_size": 5,
+                     "n_nodes": 2, "ranks_per_node": 3}
+        },
+        ...
+      ]
+    }
+
+``graph.kind`` names a generator in :mod:`repro.graphs` (its remaining
+keys are passed through as keyword arguments), or ``{"kind": "file",
+"path": ...}`` loads a matrix via :func:`repro.graphs.load_matrix`.
+``config`` keys are :class:`~repro.api.SolveConfig` fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..api import SolveConfig
+from ..errors import ConfigurationError
+from .scheduler import ClusterScheduler
+
+__all__ = ["build_graph", "load_job_mix", "run_job_mix"]
+
+#: Generators a job-mix file may name (whitelist: a spec file is data,
+#: not code, so it does not get arbitrary attribute lookup).
+_GRAPH_KINDS = (
+    "uniform_random_dense",
+    "erdos_renyi",
+    "grid_road_network",
+    "ring_of_cliques",
+    "power_law_graph",
+    "banded_graph",
+)
+
+
+def build_graph(spec: dict):
+    """Materialize a job's graph from its ``graph`` spec object."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ConfigurationError(f"graph spec must be an object with 'kind', got {spec!r}")
+    kind = spec["kind"]
+    kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "file":
+        from ..graphs import load_matrix
+
+        try:
+            return load_matrix(kwargs["path"])
+        except KeyError:
+            raise ConfigurationError("graph kind 'file' needs a 'path'") from None
+    if kind == "zeros":
+        import numpy as np
+
+        try:
+            return np.zeros((int(kwargs["n"]), int(kwargs["n"])), dtype=np.float32)
+        except KeyError:
+            raise ConfigurationError("graph kind 'zeros' needs 'n'") from None
+    if kind not in _GRAPH_KINDS:
+        raise ConfigurationError(
+            f"unknown graph kind {kind!r}; known: {sorted(_GRAPH_KINDS + ('file', 'zeros'))}"
+        )
+    import repro.graphs as graphs
+
+    return getattr(graphs, kind)(**kwargs)
+
+
+def load_job_mix(path: str) -> dict:
+    with open(path) as f:
+        spec = json.load(f)
+    if not isinstance(spec, dict) or not isinstance(spec.get("jobs"), list):
+        raise ConfigurationError(f"{path}: a job mix is an object with a 'jobs' array")
+    if not spec["jobs"]:
+        raise ConfigurationError(f"{path}: the 'jobs' array is empty")
+    return spec
+
+
+def run_job_mix(
+    spec: dict,
+    trace: Optional[bool] = None,
+) -> tuple[ClusterScheduler, list]:
+    """Run a job-mix spec; returns ``(scheduler, job reports)``."""
+    sched = ClusterScheduler(
+        machine=spec.get("machine", "summit"),
+        n_nodes=int(spec.get("n_nodes", 1)),
+        dim_scale=float(spec.get("dim_scale", 1.0)),
+        trace=bool(spec.get("trace", False)) if trace is None else trace,
+        makespan_limit=spec.get("makespan_limit"),
+    )
+    for i, jspec in enumerate(spec["jobs"]):
+        if "graph" not in jspec:
+            raise ConfigurationError(f"job #{i} has no 'graph'")
+        graph = build_graph(jspec["graph"])
+        cfg_fields = dict(jspec.get("config", {}))
+        cfg_fields.setdefault("machine", spec.get("machine", "summit"))
+        cfg_fields.setdefault("dim_scale", float(spec.get("dim_scale", 1.0)))
+        if "grid" in cfg_fields and cfg_fields["grid"] is not None:
+            cfg_fields["grid"] = tuple(cfg_fields["grid"])
+        config = SolveConfig.from_env(**cfg_fields)
+        sched.submit(
+            graph,
+            config,
+            name=jspec.get("name", f"job{i}"),
+            priority=int(jspec.get("priority", 0)),
+            weight=float(jspec.get("weight", 1.0)),
+            arrival=float(jspec.get("arrival", 0.0)),
+        )
+    reports = sched.run()
+    return sched, reports

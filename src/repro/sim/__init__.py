@@ -17,7 +17,7 @@ from .engine import (
     Timeout,
 )
 from .resources import FilterStore, Request, Resource, Store
-from .trace import Span, Tracer, render_gantt
+from .trace import ScopedTracer, Span, Tracer, render_gantt
 
 __all__ = [
     "AllOf",
@@ -32,6 +32,7 @@ __all__ = [
     "Request",
     "Resource",
     "Store",
+    "ScopedTracer",
     "Span",
     "Tracer",
     "render_gantt",

@@ -188,14 +188,28 @@ class Process(Event):
     it (or aborts the simulation if nothing is).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "scope")
 
-    def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+        scope: Any = None,
+    ):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: Opaque ownership tag (e.g. the scheduler's Job).  Inherited
+        #: from the spawning process so every helper process a job
+        #: creates (isend relays, stream ops, watchdogs) carries its
+        #: job's identity down to the resource arbiters.  ``None`` for
+        #: single-owner simulations - the historical behavior.
+        if scope is None and env._active_process is not None:
+            scope = env._active_process.scope
+        self.scope = scope
         #: The event this process is currently waiting on.
         self._target: Optional[Event] = None
         _Initialize(env, self)
@@ -377,8 +391,10 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
-        return Process(self, generator, name=name)
+    def process(
+        self, generator: Generator, name: Optional[str] = None, scope: Any = None
+    ) -> Process:
+        return Process(self, generator, name=name, scope=scope)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

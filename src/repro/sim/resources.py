@@ -27,11 +27,15 @@ __all__ = ["Resource", "Request", "Store", "FilterStore"]
 class Request(Event):
     """Event granted when the requesting process acquires the resource."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "scope")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        active = resource.env.active_process
+        #: Ownership tag of the requesting process (see Process.scope);
+        #: arbiters use it to pick whose queued request is granted next.
+        self.scope = getattr(active, "scope", None)
 
 
 class Resource:
@@ -60,6 +64,13 @@ class Resource:
         #: Cumulative simulated time-integral of queue length; used by the
         #: trace layer to report contention.
         self.total_wait_time = 0.0
+        #: Cumulative simulated time this resource was held (per holder);
+        #: fleet utilization = busy / (capacity * makespan).
+        self.total_busy_time = 0.0
+        #: Optional queue arbiter (see repro.sched.arbiter).  ``None``
+        #: keeps the historical strict-FIFO grant order, which the
+        #: single-job exactness recordings pin.
+        self.arbiter = None
 
     @property
     def count(self) -> int:
@@ -84,7 +95,11 @@ class Resource:
             raise SimulationError(f"release of {request!r} that does not hold {self.name}")
         self._users.discard(request)
         while self._waiting and len(self._users) < self.capacity:
-            nxt = self._waiting.popleft()
+            if self.arbiter is None:
+                nxt = self._waiting.popleft()
+            else:
+                nxt = self.arbiter.select(self._waiting)
+                self._waiting.remove(nxt)
             self._users.add(nxt)
             nxt.succeed()
 
@@ -123,9 +138,12 @@ class Resource:
             raise
         t_got = self.env.now
         self.total_wait_time += t_got - t_asked
+        if self.arbiter is not None and req.scope is not None:
+            self.arbiter.charge(req.scope, duration)
         try:
             yield self.env.timeout(duration)
         finally:
+            self.total_busy_time += self.env.now - t_got
             self.release(req)
         return t_got
 

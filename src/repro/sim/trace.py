@@ -17,7 +17,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-__all__ = ["Span", "Tracer", "render_gantt", "OP_CATEGORY_PREFIX"]
+__all__ = ["Span", "Tracer", "ScopedTracer", "render_gantt", "OP_CATEGORY_PREFIX"]
 
 #: Category prefix of task-level spans the schedule executor records -
 #: one span per IR op that consumed simulated time (category
@@ -186,6 +186,56 @@ class Tracer:
         for key in sorted(self.counters):
             h.update(f"{key}={self.counters[key]!r}\n".encode())
         return h.hexdigest()
+
+
+class ScopedTracer:
+    """A write view onto a shared :class:`Tracer` that prefixes actors.
+
+    The cluster scheduler gives each job a ``ScopedTracer(fleet, "job3.")``
+    so concurrent jobs land in one fleet trace as distinct Perfetto
+    lanes (``job3.rank0``, ``job3.gpu0.kernel``, ...) while counters get
+    the same prefix for per-job attribution.  Reads (queries, digests)
+    go through the underlying fleet tracer.
+    """
+
+    def __init__(self, inner: Tracer, prefix: str):
+        self.inner = inner
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self.inner.enabled
+
+    def record(self, actor: str, category: str, label: str, start: float, end: float) -> None:
+        self.inner.record(self.prefix + actor, category, label, start, end)
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        self.inner.add(self.prefix + counter, amount)
+
+    # -- scoped read views ---------------------------------------------------
+    # Per-job report assembly reads ``counters``/``spans`` exactly like a
+    # private Tracer; these return only this job's slice, de-prefixed.
+    @property
+    def counters(self) -> dict[str, float]:
+        p = self.prefix
+        return {
+            k[len(p):]: v for k, v in self.inner.counters.items() if k.startswith(p)
+        }
+
+    @property
+    def spans(self) -> list[Span]:
+        p = self.prefix
+        return [
+            Span(s.actor[len(p):], s.category, s.label, s.start, s.end)
+            for s in self.inner.spans
+            if s.actor.startswith(p)
+        ]
+
+    def total_time(self, category: str, actor: Optional[str] = None) -> float:
+        return Tracer.total_time(self, category, actor)  # type: ignore[arg-type]
+
+    def busy_time(self, actor: str, categories: Optional[Iterable[str]] = None) -> float:
+        return Tracer.busy_time(self, actor, categories)  # type: ignore[arg-type]
 
 
 def render_gantt(

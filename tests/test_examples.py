@@ -39,3 +39,24 @@ def test_example_runs(name, capsys):
     module.main()
     out = capsys.readouterr().out
     assert out.strip(), f"{name}.py should print something"
+
+
+def test_capacity_planning_output(capsys):
+    """The capacity-planning example speaks the admission-control
+    vocabulary: feasibility verdicts for the paper's configurations,
+    live admit/queue/reject decisions, and the model cross-check."""
+    load_example("capacity_planning").main()
+    out = capsys.readouterr().out
+    # shape-level assessments of the paper's headline configurations
+    assert "fits-hbm" in out
+    assert "needs-offload" in out
+    assert "Eq. 5 block-size floor applied" in out
+    # the live scheduler's three verdicts
+    assert "first:   running" in out
+    assert "second:  queued" in out
+    assert "too-big: rejected" in out
+    assert "oversubscribed" in out
+    assert "exceeds HBM capacity" in out
+    assert "fleet GPU utilization" in out
+    # prediction vs simulation
+    assert "sim/model ratio" in out

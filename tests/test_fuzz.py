@@ -160,6 +160,34 @@ class TestGenerator:
         )
         assert hits > 20  # ~10 expected unbiased, ~37 biased
 
+    def test_multi_class_scenarios_are_drawn_and_legal(self):
+        """Some armed scenarios stack several fault classes; every
+        stacked draw still parses, keeps per-class invariants (message
+        faults arm a deadline even as companions), and emits exactly
+        one merged policy spec."""
+        cfg = GeneratorConfig(p_faulted=1.0, p_multi_fault=1.0)
+        gen = ScenarioGenerator(seed=3, config=cfg)
+        multi = 0
+        for _ in range(60):
+            sc = gen.draw()
+            classes = [c for c in sc.fault_classes() if c != "none"]
+            if len(classes) > 1:
+                multi += 1
+            n_policies = sum(1 for s in sc.fault_specs if s.startswith("policy:"))
+            assert n_policies <= 1
+            if {"drop", "dup", "corrupt"} & set(classes):
+                assert any("timeout=" in s for s in sc.fault_specs
+                           if s.startswith("policy:"))
+            sc.fault_plan()  # parses through the hardened parser
+        assert multi > 20  # p_multi_fault=1.0: every armed draw stacks
+
+    def test_multi_fault_off_keeps_single_class(self):
+        cfg = GeneratorConfig(p_faulted=1.0, p_multi_fault=0.0)
+        gen = ScenarioGenerator(seed=3, config=cfg)
+        for _ in range(30):
+            classes = [c for c in gen.draw().fault_classes() if c != "none"]
+            assert len(classes) == 1
+
 
 # ---------------------------------------------------------------------------
 # executor
@@ -397,6 +425,25 @@ class TestSession:
         cov.record(small_scenario(fault_specs=("straggler:rank=0,factor=2",)))
         assert cov.hits("async", "straggler", "checksum") == 2
         assert cov.summary()["cells_hit"] == 1
+
+    def test_coverage_map_counts_class_pairs(self):
+        cov = CoverageMap()
+        cov.record(small_scenario(fault_specs=(
+            "straggler:rank=0,factor=2", "crash:rank=0,at=1e-4",
+            "policy:ckpt=1,restarts=2",
+        )))
+        # each class cell credited, plus the unordered pair cell
+        assert cov.hits("async", "straggler", "checksum") == 1
+        assert cov.hits("async", "crash", "checksum") == 1
+        assert cov.pair_hits("async", "crash", "straggler", "checksum") == 1
+        assert cov.pair_hits("async", "straggler", "crash", "checksum") == 1
+        summary = cov.summary()
+        assert summary["pair_cells_hit"] == 1 and summary["pair_hits"] == 1
+        assert ("async", "crash+straggler", "checksum") in cov.pair_cells()
+        # single-class records contribute no pair cells
+        cov2 = CoverageMap()
+        cov2.record(small_scenario(fault_specs=("straggler:rank=0,factor=2",)))
+        assert cov2.summary()["pair_cells_hit"] == 0
 
     def test_small_session_is_clean_and_replayable(self, tmp_path):
         path = str(tmp_path / "corpus.jsonl")
