@@ -1,0 +1,159 @@
+"""Fleet self-healing: MTTR and goodput vs a no-retry baseline.
+
+The point of the resilience layer (repro/sched/resilience.py) is that a
+fleet under a fault storm *finishes its work anyway*: failed jobs are
+re-admitted with seeded backoff, resume from their last CRC-valid
+checkpoint, and route around quarantined devices.  This bench runs the
+fixed-seed 8-job mixed-priority mix under a GPU-crash storm twice - once
+with the self-healing layer armed, once with it disarmed (PR-8
+semantics: first failure is terminal) - and measures what resilience
+buys and what it costs.
+
+Outputs:
+
+* ``benchmarks/results/fleet_mttr.txt`` - human-readable table;
+* ``benchmarks/results/BENCH_resilience.json`` - machine-readable MTTR
+  percentiles, retry counts, goodput (jobs finished per simulated
+  minute) and makespans for both modes (the CI ``chaos-fleet`` job
+  asserts on this file).
+
+Shape assertions: the armed fleet completes every job, the disarmed
+fleet loses every storm-struck one, and MTTR is positive and bounded by
+the armed fleet's makespan.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from common import RESULTS_DIR, write_table
+
+from repro.faults import resolve_fault_plan
+from repro.graphs import uniform_random_dense
+from repro.sched import ClusterScheduler, HealthPolicy, ResiliencePolicy, RetryPolicy
+
+SEED = 7
+N_NODES = 2
+N_JOBS = 8
+REAL_KW = dict(block_size=5, n_nodes=2, ranks_per_node=3)
+
+
+def job_mix(seed: int = SEED) -> list[dict]:
+    """Fixed-seed mixed-priority mix under a storm: half the jobs are
+    struck by a GPU crash shortly after their arrival (always rank 1,
+    so the storm concentrates on one device and trips quarantine), and
+    one late tenant rides through a degraded NIC window."""
+    rng = np.random.RandomState(seed)
+    jobs = []
+    for i in range(N_JOBS):
+        arrival = float(rng.uniform(0.0, 0.0002))
+        specs = []
+        if i % 2 == 0:
+            specs.append(f"crash:rank=1,at={arrival + 0.00005!r}")
+        if i == N_JOBS - 1:
+            specs.append(f"nic:node=0,factor=4,t0={arrival!r},t1={arrival + 0.0002!r}")
+        plan = None
+        if specs:
+            plan = resolve_fault_plan(specs, seed=seed).replace(
+                max_restarts=0, checkpoint_interval=2
+            )
+        jobs.append(dict(
+            name=f"tenant{i}",
+            graph_seed=i % 3,
+            priority=int(rng.randint(0, 3)),
+            weight=float(rng.choice([0.5, 1.0, 2.0])),
+            arrival=arrival,
+            fault_plan=plan,
+        ))
+    return jobs
+
+
+def run_mode(jobs: list[dict], armed: bool) -> dict:
+    policy = None
+    if armed:
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3),
+            health=HealthPolicy(fault_threshold=2, probation=0.02),
+            retry_budget=16,
+        )
+    sched = ClusterScheduler(n_nodes=N_NODES, resilience=policy)
+    for job in jobs:
+        sched.submit(
+            uniform_random_dense(30, seed=job["graph_seed"]),
+            variant="async",
+            name=job["name"],
+            priority=job["priority"],
+            weight=job["weight"],
+            arrival=job["arrival"],
+            fault_plan=job["fault_plan"],
+            **REAL_KW,
+        )
+    reports = sched.run()
+    flat = sched.fleet_metrics().flat()
+    done = sum(1 for r in reports if r.status == "done")
+    makespan = flat["fleet.makespan"]
+    out = {
+        "jobs_done": done,
+        "jobs_failed": sum(1 for r in reports if r.status == "failed"),
+        "makespan": makespan,
+        "goodput_jobs_per_minute": 60.0 * done / makespan if makespan > 0 else 0.0,
+        "retries": flat.get("fleet.resilience.retries", 0.0),
+        "quarantines": flat.get("fleet.resilience.quarantines", 0.0),
+        "mttr_p50": flat.get("fleet.resilience.mttr.p50", 0.0),
+        "mttr_max": flat.get("fleet.resilience.mttr.max", 0.0),
+    }
+    return out
+
+
+def run_both() -> dict:
+    jobs = job_mix()
+    return {
+        "baseline": run_mode(jobs, armed=False),
+        "resilient": run_mode(jobs, armed=True),
+    }
+
+
+def test_fleet_mttr(benchmark):
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    base, res = out["baseline"], out["resilient"]
+
+    rows = [
+        ["no-retry baseline", f"{base['jobs_done']}/{N_JOBS}",
+         f"{base['makespan']:.4f}", f"{base['goodput_jobs_per_minute']:.0f}",
+         "-", "-"],
+        ["self-healing", f"{res['jobs_done']}/{N_JOBS}",
+         f"{res['makespan']:.4f}", f"{res['goodput_jobs_per_minute']:.0f}",
+         f"{res['mttr_p50']:.4f}", f"{res['retries']:.0f}"],
+    ]
+    write_table(
+        "fleet_mttr",
+        f"Fleet self-healing: {N_JOBS}-job mix (seed {SEED}) under a "
+        f"GPU-crash storm on {N_NODES} Summit nodes, simulated seconds",
+        ["mode", "done", "makespan s", "goodput j/min", "MTTR p50", "retries"],
+        rows,
+    )
+    payload = {
+        "bench": "fleet_mttr",
+        "seed": SEED,
+        "n_jobs": N_JOBS,
+        "n_nodes": N_NODES,
+        "baseline": base,
+        "resilient": res,
+        "goodput_gain": (
+            res["goodput_jobs_per_minute"] / base["goodput_jobs_per_minute"]
+            if base["goodput_jobs_per_minute"] > 0 else float("inf")
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_resilience.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Shape: the armed fleet finishes everything the storm took from
+    # the baseline, pays for it with retries, and recovers in finite
+    # simulated time.
+    assert res["jobs_done"] == N_JOBS
+    assert base["jobs_done"] < N_JOBS
+    assert res["retries"] > 0
+    assert 0.0 < res["mttr_p50"] <= res["mttr_max"] <= res["makespan"]

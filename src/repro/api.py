@@ -342,7 +342,8 @@ def _solve_engine(_engine, graph, config: SolveConfig, grid):
 
 def submit(graph, config: Optional[SolveConfig] = None, *, scheduler=None,
            name: Optional[str] = None, priority: int = 0, weight: float = 1.0,
-           arrival: float = 0.0, **overrides):
+           arrival: float = 0.0, retry=None, deadline: Optional[float] = None,
+           **overrides):
     """Submit a job to a shared cluster; returns a
     :class:`~repro.sched.JobHandle` instead of blocking on the result.
 
@@ -363,6 +364,11 @@ def submit(graph, config: Optional[SolveConfig] = None, *, scheduler=None,
     NIC bandwidth (2x per level), ``weight`` subdivides within a
     priority level, and ``arrival`` delays the job's (simulated)
     arrival at the cluster.  See docs/SCHEDULING.md.
+
+    ``retry`` (a :class:`~repro.sched.RetryPolicy` or its dict form)
+    and ``deadline`` (a simulated-seconds SLO from arrival) require a
+    resilience-armed scheduler - ``ClusterScheduler(resilience=True)``
+    or a :class:`~repro.sched.ResiliencePolicy`; see docs/RESILIENCE.md.
     """
     if config is None:
         config = SolveConfig()
@@ -381,9 +387,11 @@ def submit(graph, config: Optional[SolveConfig] = None, *, scheduler=None,
             n_nodes=config.n_nodes,
             dim_scale=config.dim_scale,
             trace=config.trace or config.obs.trace_out is not None,
+            resilience=True if (retry is not None or deadline is not None) else None,
         )
     return scheduler.submit(
-        graph, config, name=name, priority=priority, weight=weight, arrival=arrival
+        graph, config, name=name, priority=priority, weight=weight,
+        arrival=arrival, retry=retry, deadline=deadline,
     )
 
 

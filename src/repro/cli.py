@@ -208,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a job-tagged Chrome trace_event JSON of the whole fleet "
         "(per-job Perfetto lanes; forces fleet tracing on)",
     )
+    sched.add_argument(
+        "--no-resilience", action="store_true",
+        help="strip the spec's 'resilience' policy and per-job "
+        "retry/deadline fields: jobs fail terminally on first error "
+        "(the PR-8 exact baseline; see docs/RESILIENCE.md)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz", help="coverage-driven scenario fuzzer (see docs/FUZZING.md)"
@@ -563,6 +569,13 @@ def cmd_sched(args: argparse.Namespace) -> int:
         if path is not None:
             _check_sink_path(path)
     spec = load_job_mix(args.spec)
+    if args.no_resilience:
+        spec = dict(spec)
+        spec.pop("resilience", None)
+        spec["jobs"] = [
+            {k: v for k, v in job.items() if k not in ("retry", "deadline")}
+            for job in spec.get("jobs", [])
+        ]
     scheduler, reports = run_job_mix(
         spec, trace=True if args.trace_out else None
     )

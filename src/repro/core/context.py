@@ -220,6 +220,12 @@ class FwContext:
         #: ``faults`` / ``verify``.  Set by the driver, which also
         #: swaps ``backend`` for the flop-metering wrapper.
         self.obs = None
+        #: Logical->physical node remap (list indexed by the
+        #: placement's node id); set by the scheduler's resilience
+        #: layer so a retried job lands on healthy nodes instead of the
+        #: quarantined ones its placement would name.  None = identity
+        #: (every unscheduled run, and all of PR 8's behaviour).
+        self.node_map = None
         self.world = mpi.world()
         #: Unlocalized row/column communicators, by grid row/col index.
         self.row_comms = [Comm(mpi, grid.row_ranks(r), me=None) for r in range(grid.pr)]
@@ -243,16 +249,24 @@ class FwContext:
     def semiring(self) -> Semiring:
         return self.config.semiring
 
+    def node_of(self, rank: int) -> int:
+        """The rank's *physical* node: the placement's node id routed
+        through ``node_map`` when the scheduler remapped the job."""
+        node = self.placement.node_of(rank)
+        if self.node_map is not None:
+            node = self.node_map[node]
+        return node
+
     def gpu_of(self, rank: int) -> SimGPU:
         """Bind a rank to a GPU of its node (round-robin over the
         node's GPUs, so e.g. 12 ranks on a 6-GPU node pair up 2:1 as
         the paper's runs do)."""
-        node = self.cluster.nodes[self.placement.node_of(rank)]
+        node = self.cluster.nodes[self.node_of(rank)]
         local = self.placement.local_index(rank)
         return node.gpus[local % len(node.gpus)]
 
     def host_of(self, rank: int) -> HostCpu:
-        return self.cluster.nodes[self.placement.node_of(rank)].host
+        return self.cluster.nodes[self.node_of(rank)].host
 
 
 class RankState:

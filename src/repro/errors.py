@@ -22,6 +22,7 @@ SinkError                    12
 FaultPlanError               13
 InternalError                14
 AdmissionError               15
+DeadlineExceeded             16
 =========================  ====
 
 :class:`InternalError` is the catch-all for *unexpected* exceptions
@@ -50,6 +51,7 @@ __all__ = [
     "FaultPlanError",
     "InternalError",
     "AdmissionError",
+    "DeadlineExceeded",
     "exit_code_for",
 ]
 
@@ -240,6 +242,21 @@ class AdmissionError(ReproError):
         super().__init__(f"job {job_name!r} rejected at admission: {reason}")
 
 
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A scheduled job blew its per-job deadline (simulated-time SLO)
+    and was killed by the fleet's resilience layer.  Deadline kills are
+    terminal: the job is never retried, whatever its retry policy says
+    - retrying work that already missed its SLO only burns fleet
+    capacity other tenants could use."""
+
+    def __init__(self, job_name: str, deadline: float):
+        self.job_name = job_name
+        self.deadline = deadline
+        super().__init__(
+            f"job {job_name!r} exceeded its {deadline:.6g}s deadline and was killed"
+        )
+
+
 #: (class, code) pairs ordered most-specific first - several classes
 #: subclass others, so order is significant for the isinstance scan.
 _EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
@@ -257,6 +274,7 @@ _EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
     (SilentCorruptionError, 10),
     (InternalError, 14),
     (AdmissionError, 15),
+    (DeadlineExceeded, 16),
 )
 
 

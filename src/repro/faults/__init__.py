@@ -14,7 +14,7 @@ See ``docs/FAULTS.md`` for the spec grammar and the idempotence
 argument behind bit-identical recovery.
 """
 
-from .checkpoint import CheckpointStore, checkpoint_hook
+from .checkpoint import CheckpointStore, checkpoint_hook, reshard
 from .injector import CTRL_NBYTES, FaultInjector, FaultRuntime
 from .plan import (
     FAULT_PLAN_ENV,
@@ -43,4 +43,5 @@ __all__ = [
     "CTRL_NBYTES",
     "CheckpointStore",
     "checkpoint_hook",
+    "reshard",
 ]

@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.context import RankState
     from ..core.distribution import LocalBlocks
 
-__all__ = ["CheckpointStore", "checkpoint_hook"]
+__all__ = ["CheckpointStore", "checkpoint_hook", "reshard"]
 
 
 class CheckpointStore:
@@ -139,6 +139,54 @@ class CheckpointStore:
         if snap is None:
             return None
         return {key: b.copy() for key, b in snap.items()}
+
+
+def reshard(
+    store: CheckpointStore,
+    k: int,
+    old_world: int,
+    new_grid,
+    nb: int,
+    track_paths: bool = False,
+) -> CheckpointStore:
+    """Re-key one consistent cut onto a new process grid.
+
+    Block snapshots are keyed by *global* block coordinates ``(i, j)``,
+    so a cut taken under one grid can seed a differently shaped world
+    as long as the blocking (``nb``) is unchanged: union the old ranks'
+    snapshots at iteration ``k``, then re-select each new rank's owned
+    tile.  Used by the scheduler's re-plan ladder so a job squeezed
+    onto a smaller healthy fleet keeps its checkpoint progress instead
+    of restarting from scratch.
+
+    Every restored snapshot is CRC-validated by :meth:`CheckpointStore.restore`;
+    a corrupted or missing snapshot raises :class:`CheckpointError` and
+    the caller falls back to a from-scratch retry.
+    """
+    merged: dict = {}
+    merged_nxt: dict = {}
+    for r in range(old_world):
+        merged.update(store.restore(k, r))
+        nxt = store.restore_nxt(k, r)
+        if nxt:
+            merged_nxt.update(nxt)
+    out = CheckpointStore()
+    for r in range(new_grid.pr * new_grid.pc):
+        rows = new_grid.local_block_rows(r, nb)
+        cols = new_grid.local_block_cols(r, nb)
+        try:
+            blocks = {(i, j): merged[(i, j)] for i in rows for j in cols}
+            nxt = (
+                {(i, j): merged_nxt[(i, j)] for i in rows for j in cols}
+                if track_paths
+                else None
+            )
+        except KeyError as missing:
+            raise CheckpointError(
+                f"cannot reshard checkpoint k={k}: block {missing} is missing"
+            ) from None
+        out.save(k, r, blocks, nxt)
+    return out
 
 
 def checkpoint_hook(state: "RankState", k: int):

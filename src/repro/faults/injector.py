@@ -356,3 +356,9 @@ class FaultRuntime:
     #: rank -> highest k it has checkpointed (suppresses double saves
     #: at the restart iteration).
     last_saved: dict[int, int] = dataclasses.field(default_factory=dict)
+    #: True on a checkpoint-carrying re-admission (scheduler retry):
+    #: the first epoch of the new attempt must restore from the store
+    #: at ``start_k`` instead of re-scattering ``rp.locals_`` - the
+    #: previous attempt mutated those blocks in place - and must not
+    #: overwrite the pristine ``k=0`` snapshot.
+    resumed: bool = False

@@ -37,7 +37,7 @@ __all__ = ["CoverageMap", "Finding", "FuzzReport", "FuzzSession"]
 #: Families the shrinker can meaningfully reproduce in isolation; a
 #: perf-model violation depends on the session's calibration pool, so
 #: its repro is the corpus record itself.
-SHRINKABLE_FAMILIES = ("crash", "equivalence", "determinism", "certificate")
+SHRINKABLE_FAMILIES = ("crash", "equivalence", "resilience", "determinism", "certificate")
 
 
 class CoverageMap:

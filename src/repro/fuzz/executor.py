@@ -50,10 +50,14 @@ class Outcome:
     error: Optional[str] = None
     traceback: Optional[str] = None
     #: SHA-256 prefix of the distance matrix bytes (+ shape/dtype).
+    #: Fleet scenarios store a combined digest over ``job_digests``.
     dist_digest: Optional[str] = None
     makespan: Optional[float] = None
     certificate: Optional[dict] = None
     fault_counters: Optional[dict] = None
+    #: Fleet scenarios only: per-job distance digests aligned with job
+    #: index (None for a job that did not finish DONE).
+    job_digests: Optional[list] = None
     #: :class:`~repro.obs.validation.VariantMeasurement` fields of the
     #: instrumented run (perf-oracle input); None when uninstrumented.
     measurement: Optional[dict] = None
@@ -107,21 +111,24 @@ def run_scenario(scenario: Scenario) -> Outcome:
 
     t0 = time.perf_counter()
     try:
-        from ..api import solve
+        if scenario.is_fleet:
+            outcome = _run_fleet(scenario)
+        else:
+            from ..api import solve
 
-        graph = scenario.build_graph()
-        result = solve(graph, scenario.to_solve_config())
-        outcome = Outcome(
-            status="ok",
-            exit_code=0,
-            dist_digest=dist_digest(result.dist) if result.dist is not None else None,
-            makespan=result.makespan,
-            certificate=result.certificate,
-            fault_counters=dict(result.fault_counters) if result.fault_counters else None,
-            measurement=_measurement_dict(result, scenario.machine)
-            if scenario.instrument
-            else None,
-        )
+            graph = scenario.build_graph()
+            result = solve(graph, scenario.to_solve_config())
+            outcome = Outcome(
+                status="ok",
+                exit_code=0,
+                dist_digest=dist_digest(result.dist) if result.dist is not None else None,
+                makespan=result.makespan,
+                certificate=result.certificate,
+                fault_counters=dict(result.fault_counters) if result.fault_counters else None,
+                measurement=_measurement_dict(result, scenario.machine)
+                if scenario.instrument
+                else None,
+            )
     except Exception as exc:  # classified, never propagated
         handled = isinstance(exc, ReproError)
         outcome = Outcome(
@@ -133,6 +140,106 @@ def run_scenario(scenario: Scenario) -> Outcome:
         )
     outcome.wall_seconds = time.perf_counter() - t0
     return outcome
+
+
+#: Fleet metric names copied into ``Outcome.fault_counters`` so corpus
+#: records pin the self-healing activity, not just the final digests.
+FLEET_COUNTER_KEYS = (
+    "fleet.resilience.retries",
+    "fleet.resilience.quarantines",
+    "fleet.resilience.reinstated",
+    "fleet.resilience.replans",
+    "fleet.resilience.poisoned",
+    "fleet.resilience.deadline_kills",
+    "fleet.jobs.completed",
+    "fleet.jobs.failed",
+)
+
+
+def _run_fleet(scenario: Scenario) -> Outcome:
+    """Run a fleet scenario: ``scenario.jobs`` tenants on one
+    ClusterScheduler, self-healing armed when the scenario carries a
+    resilience policy.
+
+    Even-indexed jobs are the chaos tenants (they get the scenario's
+    fault plan); odd-indexed ones run clean - the acceptance-test shape
+    where bystanders must stay exact while neighbours retry.  The
+    outcome is ok iff every job ends DONE; otherwise it keeps the CLI
+    convention of the worst per-job exit code.
+    """
+    from ..sched import ClusterScheduler
+
+    sched = ClusterScheduler(
+        machine=scenario.machine,
+        n_nodes=scenario.n_nodes,
+        resilience=scenario.resilience,
+    )
+    base = scenario.to_solve_config()
+    clean = base.replace(fault_plan=(), trace=False)
+    chaos = base.replace(trace=False)
+    handles = []
+    for j in range(scenario.jobs):
+        graph = scenario.job_graph(j).build()
+        config = chaos if (j % 2 == 0 and scenario.fault_specs) else clean
+        handles.append(
+            sched.submit(
+                graph,
+                config,
+                name=f"job{j}",
+                priority=j % 3,
+                deadline=scenario.deadline,
+            )
+        )
+    reports = sched.run()
+    flat = sched.fleet_metrics().flat()
+    job_digests: list = []
+    errors = []
+    for handle, report in zip(handles, reports):
+        if report.status == "done":
+            job_digests.append(dist_digest(handle.result().dist))
+        else:
+            job_digests.append(None)
+            errors.append((report.exit_code, report.error or report.status))
+    counters: dict = {}
+    for handle in handles:
+        job = handle._job
+        if job.result is not None and job.result.fault_counters:
+            for key, value in job.result.fault_counters.items():
+                counters[key] = counters.get(key, 0) + value
+    for key in FLEET_COUNTER_KEYS:
+        if flat.get(key):
+            counters[key] = flat[key]
+    if scenario.jobs == 1:
+        combined = job_digests[0]
+    else:
+        h = hashlib.sha256()
+        for j, digest in enumerate(job_digests):
+            h.update(f"{j}:{digest}\n".encode())
+        combined = h.hexdigest()[:24]
+    cert = None
+    if reports[0].status == "done":
+        cert = handles[0].result().certificate
+    if errors:
+        return Outcome(
+            status="error",
+            exit_code=max(code for code, _ in errors),
+            error_type="FleetJobsFailed",
+            error="; ".join(f"exit {code}: {msg}" for code, msg in errors),
+            dist_digest=combined,
+            makespan=flat.get("fleet.makespan"),
+            certificate=cert,
+            fault_counters=counters or None,
+            job_digests=job_digests,
+        )
+    return Outcome(
+        status="ok",
+        exit_code=0,
+        dist_digest=combined,
+        makespan=flat.get("fleet.makespan"),
+        certificate=cert,
+        fault_counters=counters or None,
+        job_digests=job_digests,
+    )
 
 
 def _child_main(conn, scenario_dict: dict) -> None:  # pragma: no cover - child process

@@ -116,6 +116,17 @@ class GeneratorConfig:
     p_determinism: float = 0.25
     #: Probability of exploiting block sparsity on sparse graphs.
     p_sparsity: float = 0.25
+    #: Probability a scenario becomes a *fleet* scenario: jobs run on a
+    #: resilience-armed ClusterScheduler with drawn retry/quarantine
+    #: knobs, judged by the retry-determinism oracle.  Memflip-bearing
+    #: scenarios never convert (the applied-flip escape exemption would
+    #: hollow the oracle out).
+    p_fleet: float = 0.25
+    #: Fleet sizes to draw from (1 = a single armed job).
+    fleet_jobs: Sequence[int] = (1, 2, 3)
+    #: Probability a fleet scenario arms a (generous) per-job deadline,
+    #: exercising the watchdog without SLO-killing the jobs.
+    p_deadline: float = 0.25
 
 
 @dataclass
@@ -147,16 +158,34 @@ class ScenarioGenerator:
         n_nodes, ranks_per_node = cfg.cluster_shapes[
             int(rng.integers(len(cfg.cluster_shapes)))
         ]
-        ranks = n_nodes * ranks_per_node
+        machine = str(rng.choice(cfg.machines))
         fault_classes = self._pick_companions(fault_class)
+        fleet = rng.random() < cfg.p_fleet and "memflip" not in fault_classes
+        if fleet:
+            from ..api import resolve_machine
+
+            # The shared fleet really builds the machine's cluster, so
+            # (unlike a plain solve) n_nodes is capacity-checked; clamp
+            # *before* drawing faults so their ranks stay in range.
+            n_nodes = min(n_nodes, resolve_machine(machine).max_nodes)
+        ranks = n_nodes * ranks_per_node
         fault_specs = self._draw_faults(fault_classes, ranks, n_nodes, n, block_size)
+        jobs, resilience, deadline = 1, None, None
+        if fleet:
+            jobs = int(rng.choice(cfg.fleet_jobs))
+            resilience = self._draw_resilience()
+            fault_specs = self._fleet_faults(fault_specs)
+            if rng.random() < cfg.p_deadline:
+                # Generous vs the ~1e-3 s simulated makespans at fuzz
+                # scale: the watchdog arms, the SLO is met.
+                deadline = round(float(rng.uniform(0.5, 2.0)), 4)
         sparse_kinds = ("erdos-renyi", "banded", "grid-road", "ring-cliques")
         scenario = Scenario(
             graph=graph,
             variant=variant,
             block_size=block_size,
             kernel_backend=str(rng.choice(self._backends)),
-            machine=str(rng.choice(cfg.machines)),
+            machine=machine,
             n_nodes=n_nodes,
             ranks_per_node=ranks_per_node,
             fault_specs=tuple(fault_specs),
@@ -167,9 +196,62 @@ class ScenarioGenerator:
             ),
             instrument=True,
             check_determinism=bool(rng.random() < cfg.p_determinism),
+            jobs=jobs,
+            resilience=resilience,
+            deadline=deadline,
         )
         self.drawn += 1
         return scenario
+
+    def _draw_resilience(self) -> dict:
+        """One fleet's self-healing policy, in the object form
+        :meth:`repro.sched.ResiliencePolicy.from_dict` accepts: retry
+        backoff/attempt knobs, device-health quarantine knobs, and a
+        fleet-wide retry budget."""
+        rng = self.rng
+        return {
+            "retry": {
+                "max_attempts": int(rng.integers(2, 5)),
+                "backoff_base": round(float(rng.uniform(1e-3, 1e-2)), 6),
+                "backoff_factor": float(rng.choice([1.5, 2.0])),
+                "jitter": round(float(rng.uniform(0.0, 0.5)), 3),
+                "seed": int(rng.integers(2**16)),
+            },
+            "health": {
+                "fault_threshold": int(rng.integers(1, 4)),
+                "probation": round(float(rng.uniform(0.005, 0.05)), 6),
+            },
+            "retry_budget": int(rng.integers(8, 33)),
+        }
+
+    def _fleet_faults(self, specs: list[str]) -> list[str]:
+        """Adapt drawn fault specs for a fleet scenario: crashes and
+        OOMs become terminal for the *attempt* (``restarts=0``, no OOM
+        degrade) so recovery goes through the scheduler's retry layer
+        instead of the in-run restart loop.  A coin flip keeps or drops
+        mid-run checkpoints, exercising both checkpoint-carrying and
+        from-scratch re-admission; message-fault liveness keys
+        (timeout/retries) are preserved."""
+        rng = self.rng
+        out = [s for s in specs if not s.startswith("policy")]
+        needs_policy = any(
+            s.partition(":")[0] in ("crash", "oom", "drop", "dup", "corrupt")
+            for s in out
+        )
+        if not needs_policy:
+            return out
+        policy: dict[str, str] = {"restarts": "0", "oom_degrade": "false"}
+        for spec in specs:
+            if not spec.startswith("policy"):
+                continue
+            for item in spec.partition(":")[2].split(","):
+                key, _, value = item.partition("=")
+                if key in ("timeout", "retries"):
+                    policy[key] = value
+        if rng.random() < 0.5:
+            policy["ckpt"] = str(int(rng.choice([1, 2])))
+        out.append("policy:" + ",".join(f"{k}={v}" for k, v in policy.items()))
+        return out
 
     def _pick_cell(self) -> tuple[str, str, str]:
         rng = self.rng

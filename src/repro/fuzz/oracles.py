@@ -1,19 +1,25 @@
 """The fuzzer's oracle families: what "correct" means for a scenario.
 
-Four families, per the paper's correctness story (bit-exact tropical
+Five families, per the paper's correctness story (bit-exact tropical
 replay) and the repo's fitted perf model:
 
 1. **equivalence** - the distance matrix must byte-match a clean
    single-rank reference solve of the same graph at the same block
    size (variant/backends/faults/verification must all be invisible in
    the result);
-2. **determinism** - running the same scenario twice must produce the
+2. **resilience** - the retry-determinism oracle for fleet scenarios
+   (multi-job and/or self-healing-armed, :mod:`repro.sched.resilience`):
+   every job that ends DONE must byte-match the clean single-rank
+   reference solve of its own graph *even when the scheduler retried,
+   checkpoint-resumed, or re-planned it*, and the fleet must respect
+   its configured retry budget;
+3. **determinism** - running the same scenario twice must produce the
    same digest, makespan, and certificate;
-3. **certificate** - the verification certificate must exist exactly
+4. **certificate** - the verification certificate must exist exactly
    when armed and be internally consistent with the faults report
    (counters non-negative, repairs never exceed detections, no SDC
    "detected" on runs that injected no memory faults);
-4. **perf-model** - a clean instrumented run must not diverge from the
+5. **perf-model** - a clean instrumented run must not diverge from the
    pooled fitted Eq. 1 prediction (:mod:`repro.obs.validation`) beyond
    the pool's own fitted error bars.  At benchmark scale the constants
    predict within ~17% (pinned by tests/test_validation.py); fuzz-scale
@@ -48,7 +54,7 @@ UNEXPECTED_EXIT_CODES = (14, 124, 125)
 class OracleViolation:
     """One oracle finding (JSON-able, lands in the corpus record)."""
 
-    family: str  # "equivalence" | "determinism" | "certificate" | "perf-model" | "crash"
+    family: str  # "equivalence" | "resilience" | "determinism" | "certificate" | "perf-model" | "crash"
     detail: str
     data: dict = field(default_factory=dict)
 
@@ -99,7 +105,12 @@ class OracleSuite:
     def reference_digest(self, scenario: Scenario) -> str:
         """Digest of the clean single-rank baseline solve of the
         scenario's graph at its block size (cached per graph x b)."""
-        key = (scenario.graph, scenario.block_size)
+        return self._graph_reference_digest(
+            scenario.graph, scenario.block_size, scenario.machine
+        )
+
+    def _graph_reference_digest(self, graph_spec, block_size: int, machine: str) -> str:
+        key = (graph_spec, block_size)
         cached = self._ref_cache.get(key)
         if cached is not None:
             return cached
@@ -107,12 +118,12 @@ class OracleSuite:
         from .executor import dist_digest
 
         result = solve(
-            scenario.build_graph(),
+            graph_spec.build(),
             SolveConfig(
                 variant="baseline",
-                block_size=scenario.block_size,
+                block_size=block_size,
                 kernel_backend="reference",
-                machine=scenario.machine,
+                machine=machine,
                 n_nodes=1,
                 ranks_per_node=1,
                 fault_plan=(),
@@ -130,6 +141,7 @@ class OracleSuite:
         for family, fn in (
             ("crash", self._check_crash),
             ("equivalence", self._check_equivalence),
+            ("resilience", self._check_resilience),
             ("determinism", self._check_determinism),
             ("certificate", self._check_certificate),
             ("perf-model", self._check_perf),
@@ -164,6 +176,10 @@ class OracleSuite:
     def _check_equivalence(self, scenario: Scenario, outcome: Outcome) -> list[OracleViolation]:
         if not outcome.ok or outcome.dist_digest is None:
             return []
+        if scenario.jobs > 1:
+            # Multi-job fleets store a *combined* digest; per-job
+            # equivalence is the resilience family's job.
+            return []
         if "memflip" in scenario.fault_classes() and self._flips_applied(outcome) > 0:
             # An applied upset may escape even an armed verifier (the
             # closure is not checksum-guarded and the sentinel samples;
@@ -182,6 +198,49 @@ class OracleSuite:
                 )
             ]
         return []
+
+    # -- family: resilience -------------------------------------------------
+    def _check_resilience(self, scenario: Scenario, outcome: Outcome) -> list[OracleViolation]:
+        """The retry-determinism oracle for fleet scenarios: every job
+        the self-healing layer carried to DONE - whether it was retried
+        from a checkpoint, re-planned onto a shrunken fleet, or never
+        failed at all - must byte-match the clean single-rank reference
+        solve of its own graph.  The fleet's recovery bookkeeping must
+        also respect its configured retry budget."""
+        if not scenario.is_fleet or outcome.job_digests is None:
+            return []
+        out: list[OracleViolation] = []
+        counters = outcome.fault_counters or {}
+        retries = counters.get("fleet.resilience.retries", 0)
+        if scenario.resilience is not None:
+            budget = scenario.resilience.get("retry_budget", 32)
+            if retries > budget:
+                out.append(
+                    OracleViolation(
+                        "resilience",
+                        f"fleet spent {retries:g} retries over its budget of {budget}",
+                        {"retries": retries, "budget": budget},
+                    )
+                )
+        if "memflip" in scenario.fault_classes() and self._flips_applied(outcome) > 0:
+            return out  # applied upsets may legitimately escape (see equivalence)
+        for j, digest in enumerate(outcome.job_digests):
+            if digest is None:
+                continue  # failed/poisoned/deadline-killed job: modeled outcome
+            expected = self._graph_reference_digest(
+                scenario.job_graph(j), scenario.block_size, scenario.machine
+            )
+            if digest != expected:
+                out.append(
+                    OracleViolation(
+                        "resilience",
+                        f"job {j} diverged from its clean solo solve after "
+                        f"{retries:g} fleet retrie(s) ({digest} != {expected})",
+                        {"job": j, "got": digest, "expected": expected,
+                         "retries": retries},
+                    )
+                )
+        return out
 
     # -- family: determinism ----------------------------------------------
     def _check_determinism(self, scenario: Scenario, outcome: Outcome) -> list[OracleViolation]:

@@ -121,12 +121,56 @@ class Scenario:
     instrument: bool = True
     #: Double-run digest comparison (oracle family 2) for this scenario.
     check_determinism: bool = False
+    # -- fleet scenarios (multi-job + resilience; see docs/RESILIENCE.md) --
+    #: Concurrent jobs on one ClusterScheduler; 1 = classic single solve
+    #: unless ``resilience`` is set (then a one-job armed fleet).
+    jobs: int = 1
+    #: :class:`~repro.sched.ResiliencePolicy` object form (retry /
+    #: health / retry_budget knobs); None = self-healing disarmed.
+    resilience: Optional[dict] = None
+    #: Per-job simulated-seconds SLO (needs ``resilience``); exceeded
+    #: deadlines kill with exit 16 - a modeled outcome, not a finding.
+    deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool) or self.jobs < 1:
+            raise ConfigurationError(f"scenario jobs must be an int >= 1, got {self.jobs!r}")
+        if self.resilience is not None:
+            from ..sched.resilience import ResiliencePolicy
+
+            ResiliencePolicy.from_dict(self.resilience)  # validate eagerly
+        if self.deadline is not None:
+            if isinstance(self.deadline, bool) or not isinstance(self.deadline, (int, float)):
+                raise ConfigurationError(
+                    f"scenario deadline must be a number, got {self.deadline!r}"
+                )
+            if self.deadline <= 0:
+                raise ConfigurationError(f"scenario deadline must be > 0, got {self.deadline}")
+            if self.resilience is None:
+                raise ConfigurationError(
+                    "scenario deadline needs a 'resilience' policy (per-job "
+                    "deadlines are enforced by the self-healing layer)"
+                )
+
+    @property
+    def is_fleet(self) -> bool:
+        """Does this scenario run on a ClusterScheduler (multi-job
+        and/or resilience-armed) instead of a plain solve?"""
+        return self.jobs > 1 or self.resilience is not None
 
     # -- identity ----------------------------------------------------------
     def to_dict(self) -> dict:
         out = dataclasses.asdict(self)
         out["graph"] = {k: v for k, v in out["graph"].items() if v is not None}
         out["fault_specs"] = list(self.fault_specs)
+        # Fleet fields are omitted at their defaults so every pre-fleet
+        # scenario keeps its content-addressed id (corpus stability).
+        if self.jobs == 1:
+            del out["jobs"]
+        if self.resilience is None:
+            del out["resilience"]
+        if self.deadline is None:
+            del out["deadline"]
         return out
 
     def canonical_json(self) -> str:
@@ -167,6 +211,15 @@ class Scenario:
     def build_graph(self):
         return self.graph.build()
 
+    def job_graph(self, index: int) -> GraphSpec:
+        """Fleet job ``index``'s graph spec: the scenario's recipe with
+        a per-job seed offset, so tenants solve distinct (but still
+        fully deterministic) instances and per-job digests are
+        meaningful."""
+        if index == 0:
+            return self.graph
+        return dataclasses.replace(self.graph, seed=self.graph.seed + index)
+
     def fault_plan(self):
         """Parse ``fault_specs`` into a FaultPlan (None when unarmed) -
         through the same hardened parser users hit."""
@@ -204,9 +257,17 @@ class Scenario:
 
     def describe(self) -> str:
         faults = ",".join(self.fault_classes())
+        fleet = ""
+        if self.is_fleet:
+            fleet = f" fleet(jobs={self.jobs}"
+            if self.resilience is not None:
+                fleet += ",resilience"
+            if self.deadline is not None:
+                fleet += f",deadline={self.deadline:g}"
+            fleet += ")"
         return (
             f"{self.scenario_id}: {self.graph.kind} n={self.graph.n} b={self.block_size} "
             f"{self.variant} backend={self.kernel_backend or 'default'} "
             f"{self.machine} {self.n_nodes}x{self.ranks_per_node} "
-            f"faults=[{faults}] verify={self.verify}"
+            f"faults=[{faults}] verify={self.verify}{fleet}"
         )

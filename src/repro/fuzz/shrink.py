@@ -9,8 +9,10 @@ until a fixpoint:
 2. shrink the graph (halve ``n`` toward a floor, re-deriving the
    structured generators' shape parameters);
 3. shrink the block size toward the small end;
-4. simplify the execution: fewer ranks, simpler variant (toward
-   ``baseline``), reference backend, verify off, determinism check off.
+4. simplify the execution: fleet reductions first (one job, no
+   deadline, no resilience policy), then fewer ranks, simpler variant
+   (toward ``baseline``), reference backend, verify off, determinism
+   check off.
 
 Each candidate is re-run through the *same* oracle predicate, so the
 minimized scenario provably still fails for the same reason - that is
@@ -182,8 +184,14 @@ def shrink(
         if progress:
             continue
 
-        # Pass 4: simplify the execution environment.
+        # Pass 4: simplify the execution environment.  Fleet reductions
+        # come first: a one-job fleet (or a plain solve, once the
+        # resilience policy proves irrelevant) dominates triage cost the
+        # same way a smaller fault plan does.
         for name, cand in (
+            ("shrink-jobs", s.replace(jobs=1)),
+            ("no-deadline", s.replace(deadline=None)),
+            ("no-resilience", s.replace(resilience=None, deadline=None)),
             ("shrink-ranks", s.replace(n_nodes=1, ranks_per_node=1)),
             ("shrink-ranks", s.replace(n_nodes=1, ranks_per_node=min(2, s.ranks_per_node))),
             ("simplify-variant", s.replace(variant=_SIMPLER_VARIANT.get(s.variant, s.variant))),

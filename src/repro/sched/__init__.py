@@ -10,12 +10,17 @@ fair share, and runs every admitted job concurrently with per-job fault
 isolation and per-job observability.
 
 See docs/SCHEDULING.md for the job model, admission-control and
-fair-share semantics, and the Perfetto recipe for fleet traces.
+fair-share semantics, and the Perfetto recipe for fleet traces.  An
+optional self-healing layer (``resilience.py`` / ``health.py``, see
+docs/RESILIENCE.md) adds retry-with-backoff, device quarantine,
+checkpoint-carrying re-admission and per-job deadlines on top.
 """
 
 from .admission import AdmissionController, Assessment, JobDemand, assess, demand_of
 from .arbiter import FairShareArbiter
+from .health import DeviceHealthMonitor, HealthPolicy
 from .job import Job, JobHandle, JobReport, JobStatus
+from .resilience import FleetResilience, ResiliencePolicy, RetryPolicy
 from .scheduler import ClusterScheduler
 from .spec import build_graph, load_job_mix, run_job_mix
 
@@ -23,12 +28,17 @@ __all__ = [
     "AdmissionController",
     "Assessment",
     "ClusterScheduler",
+    "DeviceHealthMonitor",
     "FairShareArbiter",
+    "FleetResilience",
+    "HealthPolicy",
     "Job",
     "JobDemand",
     "JobHandle",
     "JobReport",
     "JobStatus",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "assess",
     "build_graph",
     "demand_of",

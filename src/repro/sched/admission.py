@@ -129,10 +129,26 @@ class AdmissionController:
         ).total
 
     # -- policy --------------------------------------------------------------
-    def check(self, rp) -> tuple[str, Optional[str], JobDemand]:
+    def check(self, rp, node_map=None) -> tuple[str, Optional[str], JobDemand]:
         """Classify a run plan: ``("admit" | "queue" | "reject",
-        reason, demand)``.  Does not reserve anything."""
+        reason, demand)``.  Does not reserve anything.
+
+        ``node_map`` is the scheduler's logical->physical node remap
+        (resilience layer): demand is charged against the nodes the job
+        will *actually* run on, so the reservation ledger and the
+        runner's device bindings always agree."""
         demand = self.demand_of(rp)
+        if node_map is not None:
+            demand = JobDemand(
+                gpu_bytes={
+                    (node_map[node], g): nbytes
+                    for (node, g), nbytes in demand.gpu_bytes.items()
+                },
+                dram_bytes={
+                    node_map[node]: nbytes
+                    for node, nbytes in demand.dram_bytes.items()
+                },
+            )
         if rp.n_nodes > self.n_nodes:
             return ("reject", f"needs {rp.n_nodes} nodes, fleet has {self.n_nodes}", demand)
         for (node, g), nbytes in demand.gpu_bytes.items():

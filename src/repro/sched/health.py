@@ -1,0 +1,176 @@
+"""Device health tracking: the fleet's per-GPU/NIC fault scoreboard.
+
+The scheduler treats every simulated device as healthy forever; real
+fleets do not get that luxury - a flaky GPU crashes job after job, and
+every crashed job is re-placed onto the same flaky GPU.  The
+:class:`DeviceHealthMonitor` breaks that loop: runner failure
+classifications are attributed to the device they struck (crash / OOM /
+SDC -> the failing rank's GPU, comm timeout -> the rank's node NIC),
+and a device that accumulates :attr:`HealthPolicy.fault_threshold`
+faults is **quarantined** - the scheduler stops placing jobs on its
+node until a probation window of :attr:`HealthPolicy.probation`
+simulated seconds has passed, after which the device is reinstated
+with a clean scoreboard.
+
+Quarantine granularity: faults are *scored* per device, but placement
+avoidance acts on the device's whole node (rank -> GPU binding is a
+fixed round-robin, so a job cannot sidestep one GPU of a node it is
+placed on).  See docs/RESILIENCE.md.
+
+Everything here is plain bookkeeping - no simulated events, no cost.
+The scheduler owns the clock; the monitor only records and answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["DeviceHealthMonitor", "HealthPolicy", "gpu_device", "nic_device"]
+
+#: Failure classes the runner attributes to the failing rank's GPU.
+GPU_FAULT_CLASSES = ("crashed", "oom", "sdc", "error")
+#: Failure classes attributed to the rank's node NIC.
+NIC_FAULT_CLASSES = ("timeout",)
+
+
+def gpu_device(node: int, gpu: int) -> tuple:
+    """Scoreboard key of one GPU: ``("gpu", node, index)``."""
+    return ("gpu", node, gpu)
+
+
+def nic_device(node: int) -> tuple:
+    """Scoreboard key of one node's NIC: ``("nic", node)``."""
+    return ("nic", node)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When a device is quarantined and for how long."""
+
+    #: Faults a device absorbs before quarantine kicks in.
+    fault_threshold: int = 3
+    #: Simulated seconds a quarantined device sits out before it is
+    #: reinstated (scoreboard reset to zero).
+    probation: float = 0.05
+
+    def __post_init__(self):
+        if not isinstance(self.fault_threshold, int) or isinstance(self.fault_threshold, bool):
+            raise ConfigurationError(
+                f"health fault_threshold must be an int, got {self.fault_threshold!r}"
+            )
+        if self.fault_threshold < 1:
+            raise ConfigurationError(
+                f"health fault_threshold must be >= 1, got {self.fault_threshold}"
+            )
+        if isinstance(self.probation, bool) or not isinstance(self.probation, (int, float)):
+            raise ConfigurationError(
+                f"health probation must be a number, got {self.probation!r}"
+            )
+        if not self.probation > 0:
+            raise ConfigurationError(
+                f"health probation must be > 0 seconds, got {self.probation}"
+            )
+
+    # -- spec round-trip ----------------------------------------------------
+    _KEYS = ("fault_threshold", "probation")
+
+    def to_dict(self) -> dict:
+        return {"fault_threshold": self.fault_threshold, "probation": float(self.probation)}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "HealthPolicy":
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"health policy must be an object, got {raw!r}")
+        unknown = set(raw) - set(cls._KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown health policy keys {sorted(unknown)}; known: {list(cls._KEYS)}"
+            )
+        kwargs = dict(raw)
+        if "probation" in kwargs:
+            value = kwargs["probation"]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(f"health probation must be a number, got {value!r}")
+            kwargs["probation"] = float(value)
+        return cls(**kwargs)
+
+
+class DeviceHealthMonitor:
+    """Per-device fault scoreboard with quarantine + probation.
+
+    State machine per device::
+
+        healthy --fault x threshold--> quarantined --probation--> healthy
+                                                     (scoreboard reset)
+
+    The monitor never reads the clock itself: callers pass ``now``
+    (simulated time) into :meth:`record_fault` and :meth:`release_due`.
+    """
+
+    def __init__(self, policy: Optional[HealthPolicy] = None):
+        self.policy = policy or HealthPolicy()
+        #: device -> faults recorded since its last clean state.
+        self.faults: dict[tuple, int] = {}
+        #: device -> simulated time its probation expires.
+        self.quarantined: dict[tuple, float] = {}
+        #: Lifetime counters (feed ``fleet.resilience.*`` gauges).
+        self.total_faults = 0
+        self.total_quarantines = 0
+        self.total_reinstated = 0
+
+    # -- scoring ------------------------------------------------------------
+    def record_fault(self, device: tuple, now: float) -> bool:
+        """Score one fault against ``device``; returns True when this
+        fault tips the device into quarantine."""
+        self.total_faults += 1
+        if device in self.quarantined:
+            return False  # already out of rotation; don't re-quarantine
+        count = self.faults.get(device, 0) + 1
+        self.faults[device] = count
+        if count < self.policy.fault_threshold:
+            return False
+        self.quarantined[device] = now + self.policy.probation
+        self.total_quarantines += 1
+        return True
+
+    # -- queries ------------------------------------------------------------
+    def is_quarantined(self, device: tuple) -> bool:
+        return device in self.quarantined
+
+    def node_quarantined(self, node: int) -> bool:
+        """True when any device of ``node`` is quarantined (placement
+        avoidance acts at node granularity)."""
+        return any(d[1] == node for d in self.quarantined)
+
+    def healthy_nodes(self, n_nodes: int) -> list[int]:
+        return [n for n in range(n_nodes) if not self.node_quarantined(n)]
+
+    def next_release(self) -> Optional[float]:
+        """The earliest probation expiry, or None when nothing is out."""
+        if not self.quarantined:
+            return None
+        return min(self.quarantined.values())
+
+    # -- probation ----------------------------------------------------------
+    def release_due(self, now: float) -> list[tuple]:
+        """Reinstate every device whose probation has expired at
+        ``now``; their scoreboards reset to zero.  Returns the released
+        devices (empty when none were due)."""
+        released = [d for d, until in self.quarantined.items() if until <= now]
+        for device in released:
+            del self.quarantined[device]
+            self.faults.pop(device, None)
+            self.total_reinstated += 1
+        return released
+
+    def describe(self) -> str:
+        if not self.quarantined:
+            return "all devices healthy"
+        parts = [
+            f"{'.'.join(str(p) for p in d)} until t={t:.6g}"
+            for d, t in sorted(self.quarantined.items())
+        ]
+        return "quarantined: " + ", ".join(parts)

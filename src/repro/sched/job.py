@@ -65,6 +65,31 @@ class Job:
     demand: Any = field(repr=False, default=None)
     #: Live rank processes (for deadlocked-world kicks).
     procs: list = field(repr=False, default_factory=list)
+    # -- resilience (all inert unless the scheduler is armed) ---------------
+    #: Retry policy (:class:`~repro.sched.resilience.RetryPolicy`);
+    #: None on a resilience-off fleet - the job fails terminally.
+    retry: Any = field(repr=False, default=None)
+    #: Simulated-seconds SLO measured from ``submit_at``; None = none.
+    deadline: Optional[float] = None
+    #: Completed retries so far (0 on the first attempt).
+    attempt: int = 0
+    #: True once ``max_attempts`` is exhausted: the job keeps its last
+    #: failure's exit code and is never retried again.
+    poisoned: bool = False
+    #: Simulated time of the first failed attempt (MTTR baseline).
+    first_failed_at: Optional[float] = None
+    #: Set by the deadline watchdog; the runner raises it at the next
+    #: epoch boundary instead of retrying.
+    killed: Optional[BaseException] = field(repr=False, default=None)
+    #: Devices blamed for this attempt's rank failures (drained into
+    #: the fleet's DeviceHealthMonitor when the attempt ends).
+    fault_devices: list = field(repr=False, default_factory=list)
+    #: Persisted fault runtime (injector + checkpoint store) carried
+    #: across retry attempts for checkpoint-resume determinism.
+    faults_rt: Any = field(repr=False, default=None)
+    #: Logical->physical node remap chosen at admission to dodge
+    #: quarantined devices; None = identity.
+    node_map: Optional[list] = None
 
     @property
     def done(self) -> bool:
@@ -121,6 +146,8 @@ class Job:
             restarts=self.restarts,
             variant=None if self.rp is None else self.rp.var.value,
             n=None if self.rp is None else self.rp.n,
+            attempts=self.attempt + 1,
+            poisoned=self.poisoned,
         )
 
 
@@ -145,6 +172,9 @@ class JobReport:
     restarts: int
     variant: Optional[str]
     n: Optional[int]
+    #: Runs executed (1 = no retries); see the resilience layer.
+    attempts: int = 1
+    poisoned: bool = False
 
     def as_dict(self) -> dict:
         import dataclasses

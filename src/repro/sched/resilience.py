@@ -1,0 +1,258 @@
+"""Fleet self-healing: retry policies and the resilience runtime.
+
+PR 8's scheduler treats every fault as terminal: a crash, OOM or comm
+timeout fails the job with an exit code and the fleet never heals.
+This module is the layer between the scheduler, the fault injector and
+the runner that turns every fault class the chaos machinery can inject
+into something the fleet survives:
+
+* a per-job :class:`RetryPolicy` re-admits failed jobs through the
+  existing admission controller - deterministic seeded exponential
+  backoff + jitter, a per-job attempt cap, and a fleet-wide retry
+  budget so one pathological tenant cannot monopolize recovery
+  capacity;
+* re-admission is **checkpoint-carrying**: the job's persisted
+  :class:`~repro.faults.CheckpointStore` rides along on the
+  :class:`~repro.sched.job.Job`, and the retry resumes from the newest
+  CRC-valid consistent cut (the free ``k=0`` snapshot at worst) instead
+  of recomputing from scratch - the Spark-APSP shape of re-executing
+  failed block work from materialized intermediate state;
+* when quarantines (:mod:`repro.sched.health`) shrink the healthy
+  fleet below the job's planned node count, the scheduler re-runs the
+  :func:`~repro.sched.admission.assess` feasibility ladder and
+  re-plans the job onto a smaller grid - or the offload variant - via
+  :func:`replan_config`, rather than rejecting it;
+* a job that exhausts ``max_attempts`` is **poisoned**: it keeps its
+  last failure's exit code and is never retried again.
+
+Determinism contract: a retried job's distance matrix is bit-identical
+to its clean solo solve (the blocked FW sweep restarted from a
+consistent cut replays the same (min,+) operand sequence; see
+:mod:`repro.faults.checkpoint`), and with resilience disarmed the
+scheduler takes zero extra simulated events - every PR-8 recording
+stays bit- and makespan-exact (pinned in ``tests/test_resilience.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .health import DeviceHealthMonitor, HealthPolicy, gpu_device, nic_device
+
+__all__ = [
+    "FleetResilience",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "failed_devices",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How one job's failures are retried.
+
+    Backoff for retry attempt ``a`` (1-based) is::
+
+        backoff_base * backoff_factor**(a - 1) * (1 + jitter * u)
+
+    with ``u`` drawn from ``default_rng((seed, job_id, a))`` - fully
+    deterministic per (seed, job, attempt), so a replayed fleet backs
+    off at the exact same simulated times.
+    """
+
+    #: Total runs a job may use (first attempt included); 1 = no retry.
+    max_attempts: int = 3
+    #: First retry's base delay in simulated seconds.
+    backoff_base: float = 0.005
+    #: Exponential growth per further attempt.
+    backoff_factor: float = 2.0
+    #: Jitter fraction in [0, 1]: the delay is stretched by up to this
+    #: much (decorrelates retries of jobs felled by the same fault).
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if not _is_int(self.max_attempts) or self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry max_attempts must be an int >= 1, got {self.max_attempts!r}"
+            )
+        if not _is_num(self.backoff_base) or self.backoff_base < 0:
+            raise ConfigurationError(
+                f"retry backoff_base must be a number >= 0, got {self.backoff_base!r}"
+            )
+        if not _is_num(self.backoff_factor) or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"retry backoff_factor must be a number >= 1, got {self.backoff_factor!r}"
+            )
+        if not _is_num(self.jitter) or not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry jitter must be a number in [0, 1], got {self.jitter!r}"
+            )
+        if not _is_int(self.seed) or self.seed < 0:
+            raise ConfigurationError(
+                f"retry seed must be an int >= 0, got {self.seed!r}"
+            )
+
+    def delay(self, job_id: int, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` (1-based)."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        u = float(np.random.default_rng((self.seed, job_id, attempt)).uniform())
+        return base * (1.0 + self.jitter * u)
+
+    # -- spec round-trip ----------------------------------------------------
+    _KEYS = ("max_attempts", "backoff_base", "backoff_factor", "jitter", "seed")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": float(self.backoff_base),
+            "backoff_factor": float(self.backoff_factor),
+            "jitter": float(self.jitter),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RetryPolicy":
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"retry policy must be an object, got {raw!r}")
+        unknown = set(raw) - set(cls._KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown retry policy keys {sorted(unknown)}; known: {list(cls._KEYS)}"
+            )
+        kwargs = dict(raw)
+        for key in ("backoff_base", "backoff_factor", "jitter"):
+            if key in kwargs:
+                value = kwargs[key]
+                if not _is_num(value):
+                    raise ConfigurationError(
+                        f"retry {key} must be a number, got {value!r}"
+                    )
+                kwargs[key] = float(value)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The fleet-level self-healing configuration: the default per-job
+    retry policy, the device health/quarantine policy, and the
+    fleet-wide retry budget."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    health: HealthPolicy = field(default_factory=HealthPolicy)
+    #: Total retries the whole fleet may spend (across all jobs).
+    retry_budget: int = 32
+
+    def __post_init__(self):
+        if not isinstance(self.retry, RetryPolicy):
+            raise ConfigurationError(
+                f"resilience retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if not isinstance(self.health, HealthPolicy):
+            raise ConfigurationError(
+                f"resilience health must be a HealthPolicy, got {type(self.health).__name__}"
+            )
+        if not _is_int(self.retry_budget) or self.retry_budget < 0:
+            raise ConfigurationError(
+                f"resilience retry_budget must be an int >= 0, got {self.retry_budget!r}"
+            )
+
+    # -- spec round-trip ----------------------------------------------------
+    _KEYS = ("retry", "health", "retry_budget")
+
+    def to_dict(self) -> dict:
+        return {
+            "retry": self.retry.to_dict(),
+            "health": self.health.to_dict(),
+            "retry_budget": self.retry_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ResiliencePolicy":
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"resilience policy must be an object, got {raw!r}")
+        unknown = set(raw) - set(cls._KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown resilience policy keys {sorted(unknown)}; "
+                f"known: {list(cls._KEYS)}"
+            )
+        kwargs: dict = {}
+        if "retry" in raw:
+            kwargs["retry"] = RetryPolicy.from_dict(raw["retry"])
+        if "health" in raw:
+            kwargs["health"] = HealthPolicy.from_dict(raw["health"])
+        if "retry_budget" in raw:
+            kwargs["retry_budget"] = raw["retry_budget"]
+        return cls(**kwargs)
+
+
+class FleetResilience:
+    """One fleet's live self-healing state: the policy, the device
+    health monitor, and the spent retry budget."""
+
+    def __init__(self, policy: Optional[ResiliencePolicy] = None):
+        self.policy = policy or ResiliencePolicy()
+        self.monitor = DeviceHealthMonitor(self.policy.health)
+        self.retries_spent = 0
+
+    def budget_left(self) -> int:
+        return max(0, self.policy.retry_budget - self.retries_spent)
+
+
+def failed_devices(rp, failures, gpus_per_node: int, node_map=None) -> list:
+    """Attribute one epoch's rank failures to physical devices.
+
+    Crash / OOM / SDC / plain-bug failures strike the failing rank's
+    GPU.  Comm timeouts blame the rank's node NIC (the transport, not
+    the compute) - but only when *every* failure this epoch is a
+    timeout: a dead peer makes the surviving ranks time out too, and
+    those collateral timeouts must not quarantine innocent NICs.
+    ``node_map`` is the job's logical->physical node remap, so the
+    scoreboard always records the device the rank actually ran on.
+    """
+    primary = [r for r in sorted(failures) if _is_primary(failures[r])]
+    devices = []
+    if primary:
+        ranks, blame_nic = primary, False
+    else:
+        ranks = [r for r in sorted(failures) if failures[r][0] == "timeout"]
+        blame_nic = True
+    for rank in ranks:
+        node = rp.placement.node_of(rank)
+        if node_map is not None:
+            node = node_map[node]
+        if blame_nic:
+            devices.append(nic_device(node))
+        else:
+            devices.append(gpu_device(node, rp.placement.local_index(rank) % gpus_per_node))
+    return devices
+
+
+def _is_primary(st) -> bool:
+    """Is this (kind, exc) rank status a root-cause GPU fault?
+
+    OOM / SDC / plain-bug statuses always are.  "crashed" statuses are
+    Interrupts: the injector's crash watchdog interrupts with a
+    :class:`~repro.errors.RankFailure` carrying ``rank=``, while the
+    grace reaper's collateral kill of stalled peers carries none - only
+    the former blames the rank's GPU."""
+    kind, exc = st
+    if kind == "timeout":
+        return False
+    if kind != "crashed":
+        return True
+    cause = getattr(exc, "cause", None)
+    return getattr(cause, "rank", None) is not None
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

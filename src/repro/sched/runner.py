@@ -79,12 +79,16 @@ def _run_job(scheduler, job):
     tracer = (
         ScopedTracer(fleet_tracer, f"{job.name}.") if fleet_tracer is not None else None
     )
-    mpi = SimMPI(
-        env, handles.cluster,
-        [rp.placement.node_of(r) for r in range(rp.n_ranks)], tracer,
-    )
+    node_map = job.node_map
+    nodes = [rp.placement.node_of(r) for r in range(rp.n_ranks)]
+    if node_map is not None:
+        # Resilience remap: the attempt runs on healthy physical nodes,
+        # not the (possibly quarantined) ones the placement names.
+        nodes = [node_map[n] for n in nodes]
+    mpi = SimMPI(env, handles.cluster, nodes, tracer)
     ctx = FwContext(env, handles.cluster, mpi, rp.grid, rp.placement, rp.config,
                     rp.nb, tracer)
+    ctx.node_map = node_map
     config = rp.config
     if config.verify != "off":
         from ..verify import ChecksummedBackend, VerifyRuntime
@@ -103,13 +107,27 @@ def _run_job(scheduler, job):
         ctx.backend = MeteredBackend(obs, ctx.backend)
     injector = None
     if rp.plan is not None:
-        injector = FaultInjector(rp.plan, tracer)
-        injector.attach(mpi)
-        # Fault isolation: the injector arms this job's transport only.
-        # cluster.injector stays None, so a NIC-degradation window or a
-        # message fault can never leak into a concurrent job's traffic.
-        mpi.injector = injector
-        ctx.faults = FaultRuntime(injector, CheckpointStore())
+        if job.faults_rt is not None:
+            # Retry attempt: the persisted runtime carries the injector
+            # (one-shot fault state - an nth-match or OOM that already
+            # fired must not fire again) and the checkpoint store the
+            # attempt resumes from.
+            ctx.faults = job.faults_rt
+            injector = ctx.faults.injector
+            injector.tracer = tracer
+            injector.attach(mpi)
+            mpi.injector = injector
+        else:
+            injector = FaultInjector(rp.plan, tracer)
+            injector.attach(mpi)
+            # Fault isolation: the injector arms this job's transport
+            # only.  cluster.injector stays None, so a NIC-degradation
+            # window or a message fault can never leak into a
+            # concurrent job's traffic.
+            mpi.injector = injector
+            ctx.faults = FaultRuntime(injector, CheckpointStore())
+            if scheduler.resilience is not None:
+                job.faults_rt = ctx.faults
 
     rp.distribute()
     build_states, teardown_states = make_state_builders(ctx, rp)
@@ -193,6 +211,20 @@ def _spawn_epoch(scheduler, job, env, program, states, start_k=None):
     return status, done_ev, procs
 
 
+def _attribute_failures(scheduler, job, rp, failures):
+    """Blame this epoch's rank failures on physical devices (resilience
+    armed only; deadline kills are the watchdog's doing, not a device's)."""
+    if scheduler.resilience is None or job.killed is not None:
+        return
+    from .resilience import failed_devices
+
+    job.fault_devices.extend(
+        failed_devices(
+            rp, failures, scheduler.admission.gpus_per_node, job.node_map
+        )
+    )
+
+
 def _epoch_error(failures):
     """The exception a failed epoch surfaces, most-specific first
     (mirrors the restart-budget re-raise in ``_run_with_recovery``)."""
@@ -213,8 +245,11 @@ def _run_clean(scheduler, job, ctx, rp, build_states, teardown_states):
         program = program_for_config(rp.config)
         status, done_ev, _ = _spawn_epoch(scheduler, job, env, program, states)
         yield done_ev
+        if job.killed is not None:
+            raise job.killed
         failures = {r: st for r, st in status.items() if st[0] != "done"}
         if failures:
+            _attribute_failures(scheduler, job, rp, failures)
             exc = _epoch_error(failures)
             if exc is None:
                 first = min(failures)
@@ -246,9 +281,10 @@ def _run_epochs(scheduler, job, ctx, rp, injector, build_states, teardown_states
     track_paths = config.track_paths
     locals_, nxt_locals = rp.locals_, rp.nxt_locals
 
-    for r in range(n_ranks):
-        store.save(0, r, locals_[r], None if nxt_locals is None else nxt_locals[r])
-        rt.last_saved[r] = 0
+    if not rt.resumed:
+        for r in range(n_ranks):
+            store.save(0, r, locals_[r], None if nxt_locals is None else nxt_locals[r])
+            rt.last_saved[r] = 0
 
     run_config = config
     fired_crashes: set[int] = set()
@@ -257,7 +293,7 @@ def _run_epochs(scheduler, job, ctx, rp, injector, build_states, teardown_states
         if ctx.verify is not None:
             ctx.verify.begin_epoch()
         start_k = rt.start_k
-        if restarts == 0:
+        if restarts == 0 and not rt.resumed:
             blocks_by_rank = locals_
             nxt_by_rank = nxt_locals
         else:
@@ -311,6 +347,19 @@ def _run_epochs(scheduler, job, ctx, rp, injector, build_states, teardown_states
 
         yield done_ev
 
+        if job.killed is not None:
+            for wd in watchdogs:
+                if wd.is_alive:
+                    wd.defuse()
+                    wd.interrupt()
+            for state in states:
+                for ev in state.pending:
+                    if getattr(ev, "is_alive", False):
+                        ev.defuse()
+                        ev.interrupt()
+            teardown_states(states)
+            raise job.killed
+
         if all(st[0] == "done" for st in status.values()):
             return states, max(st[1] for st in status.values()), run_config
 
@@ -318,6 +367,7 @@ def _run_epochs(scheduler, job, ctx, rp, injector, build_states, teardown_states
         restarts += 1
         job.restarts = restarts
         failures = {r: st for r, st in status.items() if st[0] != "done"}
+        _attribute_failures(scheduler, job, rp, failures)
         if restarts > plan.max_restarts:
             exc = _epoch_error(failures)
             teardown_states(states)

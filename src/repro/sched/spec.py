@@ -26,6 +26,18 @@ benchmark and the CI ``sched`` job use the same vocabulary.  Shape::
 keys are passed through as keyword arguments), or ``{"kind": "file",
 "path": ...}`` loads a matrix via :func:`repro.graphs.load_matrix`.
 ``config`` keys are :class:`~repro.api.SolveConfig` fields.
+
+A top-level ``"resilience"`` object (or ``true`` for the defaults) arms
+the fleet self-healing layer (docs/RESILIENCE.md)::
+
+    "resilience": {"retry": {"max_attempts": 3, "backoff_base": 0.005},
+                   "health": {"fault_threshold": 2, "probation": 0.05},
+                   "retry_budget": 16}
+
+and jobs may then carry ``"retry"`` (same keys as above) and
+``"deadline"`` (simulated-seconds SLO, > 0).  All three are validated
+strictly - unknown keys, wrong types or out-of-range values reject the
+spec with :class:`~repro.errors.ConfigurationError` (exit code 2).
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ from typing import Optional
 
 from ..api import SolveConfig
 from ..errors import ConfigurationError
+from .resilience import ResiliencePolicy, RetryPolicy
 from .scheduler import ClusterScheduler
 
 __all__ = ["build_graph", "load_job_mix", "run_job_mix"]
@@ -90,6 +103,40 @@ def load_job_mix(path: str) -> dict:
     return spec
 
 
+def _parse_resilience(raw):
+    """Top-level ``"resilience"`` value -> ClusterScheduler argument."""
+    if raw is None or raw is False:
+        return None
+    if raw is True:
+        return ResiliencePolicy()
+    if isinstance(raw, dict):
+        return ResiliencePolicy.from_dict(raw)
+    raise ConfigurationError(
+        f"'resilience' must be true, false or an object, got {type(raw).__name__}"
+    )
+
+
+def _parse_job_retry(raw, where: str):
+    """Per-job ``"retry"`` value -> submit() argument (None = fleet default)."""
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ConfigurationError(
+            f"{where}: 'retry' must be an object, got {type(raw).__name__}"
+        )
+    return RetryPolicy.from_dict(raw)
+
+
+def _parse_job_deadline(raw, where: str):
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw <= 0:
+        raise ConfigurationError(
+            f"{where}: 'deadline' must be a number > 0, got {raw!r}"
+        )
+    return float(raw)
+
+
 def run_job_mix(
     spec: dict,
     trace: Optional[bool] = None,
@@ -101,10 +148,12 @@ def run_job_mix(
         dim_scale=float(spec.get("dim_scale", 1.0)),
         trace=bool(spec.get("trace", False)) if trace is None else trace,
         makespan_limit=spec.get("makespan_limit"),
+        resilience=_parse_resilience(spec.get("resilience")),
     )
     for i, jspec in enumerate(spec["jobs"]):
         if "graph" not in jspec:
             raise ConfigurationError(f"job #{i} has no 'graph'")
+        where = f"job #{i} ({jspec.get('name', f'job{i}')})"
         graph = build_graph(jspec["graph"])
         cfg_fields = dict(jspec.get("config", {}))
         cfg_fields.setdefault("machine", spec.get("machine", "summit"))
@@ -119,6 +168,8 @@ def run_job_mix(
             priority=int(jspec.get("priority", 0)),
             weight=float(jspec.get("weight", 1.0)),
             arrival=float(jspec.get("arrival", 0.0)),
+            retry=_parse_job_retry(jspec.get("retry"), where),
+            deadline=_parse_job_deadline(jspec.get("deadline"), where),
         )
     reports = sched.run()
     return sched, reports

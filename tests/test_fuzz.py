@@ -628,3 +628,198 @@ class TestFuzzCli:
         rc = main(["fuzz", "replay", "ffffffffffff", "--corpus", path])
         assert rc == 2  # ConfigurationError
         capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# fleet scenarios (multi-job + resilience; PR 9)
+# ---------------------------------------------------------------------------
+
+RESILIENCE = {
+    "retry": {"max_attempts": 3, "backoff_base": 0.002, "backoff_factor": 2.0,
+              "jitter": 0.25, "seed": 99},
+    "health": {"fault_threshold": 2, "probation": 0.02},
+    "retry_budget": 16,
+}
+
+
+def fleet_scenario(**overrides):
+    """A 3-job fleet where job 0/2 crash once (terminal for the attempt
+    via policy:restarts=0) and re-admit from the ckpt=1 snapshot."""
+    base = dict(
+        fault_specs=("crash:rank=0,at=0.0001", "policy:restarts=0,ckpt=1"),
+        fault_seed=21,
+        jobs=3,
+        resilience=dict(RESILIENCE),
+    )
+    base.update(overrides)
+    return small_scenario(**base)
+
+
+class TestFleetScenario:
+    def test_fleet_round_trip_and_distinct_id(self):
+        sc = fleet_scenario(deadline=2.0)
+        again = Scenario.from_dict(json.loads(json.dumps(sc.to_dict())))
+        assert again == sc and again.scenario_id == sc.scenario_id
+        assert sc.is_fleet
+        assert sc.replace(jobs=2).scenario_id != sc.scenario_id
+
+    def test_pre_fleet_ids_are_stable(self):
+        # Fleet fields must not leak into the canonical JSON at their
+        # defaults, or every pre-fleet corpus id would shift.
+        plain = small_scenario()
+        raw = plain.to_dict()
+        assert not {"jobs", "resilience", "deadline"} & set(raw)
+        assert not plain.is_fleet
+
+    def test_fleet_field_validation(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            small_scenario(jobs=0)
+        with pytest.raises(ConfigurationError, match="deadline"):
+            small_scenario(deadline=0.0, resilience=dict(RESILIENCE))
+        # a deadline without the layer that enforces it is a config bug
+        with pytest.raises(ConfigurationError, match="resilience"):
+            small_scenario(deadline=1.0)
+        # the policy dict is validated eagerly, not at run time
+        with pytest.raises(Exception):
+            small_scenario(resilience={"retry": {"max_attempts": "many"}})
+
+    def test_job_graphs_are_distinct_but_deterministic(self):
+        sc = fleet_scenario()
+        assert sc.job_graph(0) == sc.graph
+        g1, g2 = sc.job_graph(1), sc.job_graph(2)
+        assert g1.seed == sc.graph.seed + 1 and g2.seed == sc.graph.seed + 2
+        assert np.array_equal(g1.build(), g1.build())
+
+
+class TestFleetGenerator:
+    def test_fleet_draws_are_legal(self):
+        from repro.api import resolve_machine
+
+        gen = ScenarioGenerator(
+            seed=13, config=GeneratorConfig(p_fleet=1.0, p_faulted=0.9)
+        )
+        fleets = 0
+        for _ in range(60):
+            sc = gen.draw()
+            if not sc.is_fleet:
+                continue
+            fleets += 1
+            # memflip scenarios never convert (the applied-flip escape
+            # exemption would hollow out the retry-determinism oracle)
+            assert "memflip" not in sc.fault_classes()
+            # the shared fleet builds the real cluster: capacity-checked
+            assert sc.n_nodes <= resolve_machine(sc.machine).max_nodes
+            if sc.deadline is not None:
+                assert sc.resilience is not None and sc.deadline >= 0.5
+            # crash/OOM must be terminal for the attempt so recovery
+            # goes through the scheduler's retry layer
+            kinds = {s.partition(":")[0] for s in sc.fault_specs}
+            if kinds & {"crash", "oom", "drop", "dup", "corrupt"}:
+                policy = [s for s in sc.fault_specs if s.startswith("policy")]
+                assert len(policy) == 1
+                assert "restarts=0" in policy[0]
+                assert "oom_degrade=false" in policy[0]
+        assert fleets >= 30
+
+    def test_fleet_draws_replay_in_stream(self):
+        cfg = GeneratorConfig(p_fleet=0.5)
+        a = ScenarioGenerator(seed=21, config=cfg)
+        b = ScenarioGenerator(seed=21, config=cfg)
+        ids = [a.draw().scenario_id for _ in range(12)]
+        assert ids == [b.draw().scenario_id for _ in range(12)]
+
+
+class TestFleetExecutor:
+    def test_fleet_run_retries_and_stays_bit_exact(self):
+        sc = fleet_scenario()
+        out = run_scenario(sc)
+        assert out.ok, out.error
+        assert len(out.job_digests) == sc.jobs
+        assert all(out.job_digests)
+        assert out.fault_counters["fleet.resilience.retries"] >= 1
+        # determinism: same scenario, same fleet, same bytes
+        again = run_scenario(sc)
+        assert again.digest_key() == out.digest_key()
+        assert again.job_digests == out.job_digests
+        # and the oracles agree the retried jobs match their references
+        assert OracleSuite().check(sc, out) == []
+
+    def test_exhausted_attempts_classify_as_fleet_failure(self):
+        res = dict(RESILIENCE)
+        res["retry"] = {**RESILIENCE["retry"], "max_attempts": 1}
+        sc = fleet_scenario(resilience=res, jobs=2)
+        out = run_scenario(sc)
+        assert out.status == "error" and out.error_type == "FleetJobsFailed"
+        assert out.exit_code > 0
+        # the clean bystander still finished; the chaos tenant did not
+        assert out.job_digests[0] is None and out.job_digests[1] is not None
+
+    def test_single_armed_job_keeps_plain_digest(self):
+        # jobs=1 + resilience runs on the scheduler but must produce the
+        # same distance digest as the classic solve path
+        armed = small_scenario(resilience=dict(RESILIENCE))
+        plain = small_scenario()
+        assert run_scenario(armed).dist_digest == run_scenario(plain).dist_digest
+
+
+class TestResilienceOracle:
+    def test_clean_fleet_has_no_violations(self):
+        sc = fleet_scenario()
+        assert OracleSuite().check(sc, run_scenario(sc)) == []
+
+    def test_planted_job_divergence_is_flagged(self):
+        sc = fleet_scenario()
+        out = run_scenario(sc)
+        forged = Outcome.from_dict(out.to_dict())
+        forged.job_digests = [out.job_digests[0], "0" * 24, out.job_digests[2]]
+        v = OracleSuite().check(sc, forged)
+        assert "resilience" in [x.family for x in v]
+        assert any("job 1" in x.detail for x in v)
+
+    def test_retry_budget_overrun_is_flagged(self):
+        sc = fleet_scenario()
+        out = run_scenario(sc)
+        forged = Outcome.from_dict(out.to_dict())
+        forged.fault_counters = dict(
+            out.fault_counters, **{"fleet.resilience.retries": 10_000}
+        )
+        v = OracleSuite().check(sc, forged)
+        assert any("budget" in x.detail for x in v)
+
+    def test_equivalence_family_defers_to_resilience_for_fleets(self):
+        # the combined multi-job digest must not be compared against the
+        # single-solve reference by the equivalence family
+        sc = fleet_scenario()
+        out = run_scenario(sc)
+        families = [x.family for x in OracleSuite().check(sc, out)]
+        assert "equivalence" not in families
+
+
+class TestFleetShrinker:
+    def test_fleet_passes_reduce_to_a_plain_scenario(self):
+        # When the failure does not depend on the fleet fields, the
+        # shrinker must strip them (jobs -> 1, deadline and resilience
+        # gone), leaving a classic single-solve repro.
+        sc = fleet_scenario(deadline=2.0)
+        result = shrink(sc, lambda c: True, max_evals=120)
+        assert result.scenario.jobs == 1
+        assert result.scenario.resilience is None
+        assert result.scenario.deadline is None
+        assert not result.scenario.is_fleet
+        names = {name for name, _ in result.steps}
+        assert {"shrink-jobs", "no-resilience"} <= names
+
+    def test_fleet_passes_preserve_retry_behaviour(self):
+        # Predicate that needs the fleet: keep scenarios whose runs
+        # still retry at least once.  The resilience policy must
+        # survive minimization.
+        sc = fleet_scenario()
+
+        def still_retries(candidate):
+            out = run_scenario(candidate)
+            retries = (out.fault_counters or {}).get("fleet.resilience.retries", 0)
+            return out.ok and retries >= 1
+
+        result = shrink(sc, still_retries, max_evals=40)
+        assert result.scenario.resilience is not None
+        assert still_retries(result.scenario)

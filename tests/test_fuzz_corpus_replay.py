@@ -65,3 +65,16 @@ def test_oom_degrade_regressions_exercise_the_degrade_path():
             hits[key] += (rec.outcome.fault_counters or {}).get(key, 0)
     assert hits["faults.oom_degraded"] >= 2
     assert hits["faults.memflips_missed"] >= 2
+
+
+def test_fleet_regressions_exercise_scheduler_retry():
+    # The fleet records pin checkpoint-carrying and from-scratch
+    # re-admission; their stored counters must show the scheduler's
+    # retry layer actually fired (not the in-run restart loop, which
+    # the records disarm with policy:restarts=0).
+    retries = sum(
+        (rec.outcome.fault_counters or {}).get("fleet.resilience.retries", 0)
+        for rec in records()
+    )
+    assert retries >= 2
+    assert any(rec.scenario.is_fleet and rec.scenario.jobs > 1 for rec in records())

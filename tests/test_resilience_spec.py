@@ -1,0 +1,257 @@
+"""Property-style round-trip tests for resilience-policy parsing.
+
+Satellite of the self-healing PR: every policy must survive
+``dict -> RetryPolicy/HealthPolicy/ResiliencePolicy -> to_dict ->
+from_dict`` losslessly, and malformed specs must be rejected with
+:class:`ConfigurationError` (exit code 2), never a bare
+TypeError/ValueError.  Mirrors ``test_fault_plan_roundtrip.py``: uses
+hypothesis when available (CI installs it).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, exit_code_for
+from repro.sched import HealthPolicy, ResiliencePolicy, RetryPolicy
+from repro.sched.spec import (
+    _parse_job_deadline,
+    _parse_job_retry,
+    _parse_resilience,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+attempts = st.integers(min_value=1, max_value=9)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+bases = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+factors = st.floats(min_value=1.0, max_value=16.0, allow_nan=False, width=64)
+jitters = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64)
+thresholds = st.integers(min_value=1, max_value=12)
+probations = st.floats(
+    min_value=1e-6, max_value=10.0, allow_nan=False, width=64, exclude_min=False
+)
+budgets = st.integers(min_value=0, max_value=999)
+
+retry_dicts = st.builds(
+    lambda m, b, f, j, s: {
+        "max_attempts": m, "backoff_base": b, "backoff_factor": f,
+        "jitter": j, "seed": s,
+    },
+    attempts, bases, factors, jitters, seeds,
+)
+health_dicts = st.builds(
+    lambda t, p: {"fault_threshold": t, "probation": p}, thresholds, probations
+)
+resilience_dicts = st.builds(
+    lambda r, h, b: {"retry": r, "health": h, "retry_budget": b},
+    retry_dicts, health_dicts, budgets,
+)
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties
+# ---------------------------------------------------------------------------
+
+
+@RELAXED
+@given(raw=retry_dicts)
+def test_retry_policy_round_trip(raw):
+    policy = RetryPolicy.from_dict(raw)
+    again = RetryPolicy.from_dict(policy.to_dict())
+    assert again == policy
+    # idempotent: a second round trip is value-identical
+    assert again.to_dict() == policy.to_dict()
+
+
+@RELAXED
+@given(raw=health_dicts)
+def test_health_policy_round_trip(raw):
+    policy = HealthPolicy.from_dict(raw)
+    assert HealthPolicy.from_dict(policy.to_dict()) == policy
+
+
+@RELAXED
+@given(raw=resilience_dicts)
+def test_resilience_policy_round_trip(raw):
+    policy = ResiliencePolicy.from_dict(raw)
+    again = ResiliencePolicy.from_dict(policy.to_dict())
+    assert again == policy
+    # to_dict is strict JSON (the spec file is a JSON document)
+    json.loads(json.dumps(policy.to_dict()))
+
+
+@RELAXED
+@given(raw=st.one_of(retry_dicts, health_dicts))
+def test_partial_dicts_fill_defaults(raw):
+    # any strict subset of keys parses: missing keys take the defaults
+    partial = {k: v for i, (k, v) in enumerate(sorted(raw.items())) if i % 2 == 0}
+    if set(partial) <= set(RetryPolicy._KEYS) and "fault_threshold" not in partial:
+        policy = RetryPolicy.from_dict(partial)
+        for key, value in partial.items():
+            assert getattr(policy, key) == pytest.approx(value)
+
+
+@RELAXED
+@given(raw=retry_dicts, job_id=st.integers(0, 99), attempt=st.integers(1, 6))
+def test_backoff_deterministic_and_bounded(raw, job_id, attempt):
+    policy = RetryPolicy.from_dict(raw)
+    d1 = policy.delay(job_id, attempt)
+    d2 = policy.delay(job_id, attempt)
+    assert d1 == d2  # same (seed, job, attempt) -> same delay, always
+    lo = policy.backoff_base * policy.backoff_factor ** (attempt - 1)
+    assert lo <= d1 <= lo * (1.0 + policy.jitter) + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# rejection: malformed policies raise ConfigurationError (exit code 2)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "raw, fragment",
+    [
+        ({"max_attempts": 0}, "max_attempts"),
+        ({"max_attempts": 2.5}, "max_attempts"),
+        ({"max_attempts": True}, "max_attempts"),
+        ({"backoff_base": -0.1}, "backoff_base"),
+        ({"backoff_base": "fast"}, "backoff_base"),
+        ({"backoff_factor": 0.5}, "backoff_factor"),
+        ({"jitter": 1.5}, "jitter"),
+        ({"jitter": -0.1}, "jitter"),
+        ({"seed": -1}, "seed"),
+        ({"seed": "zero"}, "seed"),
+        ({"attempts": 3}, "unknown retry policy keys"),
+    ],
+)
+def test_malformed_retry_rejected(raw, fragment):
+    with pytest.raises(ConfigurationError, match=fragment):
+        RetryPolicy.from_dict(raw)
+
+
+@pytest.mark.parametrize(
+    "raw, fragment",
+    [
+        ({"fault_threshold": 0}, "fault_threshold"),
+        ({"fault_threshold": 1.5}, "fault_threshold"),
+        ({"fault_threshold": False}, "fault_threshold"),
+        ({"probation": 0}, "probation"),
+        ({"probation": -1.0}, "probation"),
+        ({"probation": "soon"}, "probation"),
+        ({"window": 0.1}, "unknown health policy keys"),
+    ],
+)
+def test_malformed_health_rejected(raw, fragment):
+    with pytest.raises(ConfigurationError, match=fragment):
+        HealthPolicy.from_dict(raw)
+
+
+@pytest.mark.parametrize(
+    "raw, fragment",
+    [
+        ({"retry_budget": -1}, "retry_budget"),
+        ({"retry_budget": 3.5}, "retry_budget"),
+        ({"retry": []}, "retry policy must be an object"),
+        ({"health": "strict"}, "health policy must be an object"),
+        ({"retries": {}}, "unknown resilience policy keys"),
+        ({"retry": {"max_attempts": 0}}, "max_attempts"),
+    ],
+)
+def test_malformed_resilience_rejected(raw, fragment):
+    with pytest.raises(ConfigurationError, match=fragment):
+        ResiliencePolicy.from_dict(raw)
+
+
+def test_rejections_carry_the_spec_exit_code():
+    try:
+        RetryPolicy.from_dict({"max_attempts": 0})
+    except ConfigurationError as exc:
+        assert exit_code_for(exc) == 2
+    else:  # pragma: no cover
+        pytest.fail("expected ConfigurationError")
+
+
+# ---------------------------------------------------------------------------
+# job-mix spec plumbing (run_job_mix vocabulary)
+# ---------------------------------------------------------------------------
+
+
+def test_parse_resilience_values():
+    assert _parse_resilience(None) is None
+    assert _parse_resilience(False) is None
+    assert _parse_resilience(True) == ResiliencePolicy()
+    policy = _parse_resilience({"retry_budget": 7})
+    assert policy.retry_budget == 7
+    with pytest.raises(ConfigurationError, match="'resilience' must be"):
+        _parse_resilience("on")
+    with pytest.raises(ConfigurationError, match="'resilience' must be"):
+        _parse_resilience(1)
+
+
+def test_parse_job_retry_values():
+    assert _parse_job_retry(None, "job #0") is None
+    assert _parse_job_retry({"max_attempts": 2}, "job #0").max_attempts == 2
+    with pytest.raises(ConfigurationError, match="job #3.*'retry' must be an object"):
+        _parse_job_retry([1, 2], "job #3 (tenantC)")
+
+
+@pytest.mark.parametrize("bad", [0, -1.5, True, False, "soon", [0.1]])
+def test_parse_job_deadline_rejects(bad):
+    with pytest.raises(ConfigurationError, match="'deadline' must be a number > 0"):
+        _parse_job_deadline(bad, "job #0 (tenantA)")
+
+
+def test_parse_job_deadline_values():
+    assert _parse_job_deadline(None, "job #0") is None
+    assert _parse_job_deadline(2, "job #0") == 2.0
+    assert isinstance(_parse_job_deadline(2, "job #0"), float)
+
+
+def test_run_job_mix_accepts_resilience(tmp_path):
+    from repro.sched import run_job_mix
+
+    spec = {
+        "machine": "summit",
+        "n_nodes": 2,
+        "resilience": {"retry": {"max_attempts": 2}, "retry_budget": 4},
+        "jobs": [
+            {
+                "name": "tenantA",
+                "graph": {"kind": "uniform_random_dense", "n": 20, "seed": 0},
+                "retry": {"max_attempts": 3},
+                "deadline": 5.0,
+                "config": {"variant": "baseline", "block_size": 5,
+                           "n_nodes": 1, "ranks_per_node": 2},
+            }
+        ],
+    }
+    scheduler, reports = run_job_mix(spec)
+    assert scheduler.resilience is not None
+    assert scheduler.resilience.policy.retry_budget == 4
+    assert [r.status for r in reports] == ["done"]
+
+
+def test_run_job_mix_rejects_retry_without_resilience():
+    from repro.sched import run_job_mix
+
+    spec = {
+        "n_nodes": 1,
+        "jobs": [
+            {
+                "graph": {"kind": "uniform_random_dense", "n": 20, "seed": 0},
+                "retry": {"max_attempts": 2},
+                "config": {"variant": "baseline", "block_size": 5,
+                           "n_nodes": 1, "ranks_per_node": 2},
+            }
+        ],
+    }
+    with pytest.raises(ConfigurationError, match="resilience"):
+        run_job_mix(spec)
