@@ -1,0 +1,183 @@
+"""Serving-layer load generator: queries/sec, latency, cache hit rate.
+
+The headline number of the serving tentpole: once a solve is persisted
+as a block artifact, a *warm point query* must be orders of magnitude
+faster than answering the same question with a fresh ``repro.solve()``
+- that is the entire reason the layer exists.  This bench builds one
+artifact, replays a configurable point/batch/k-nearest mix against it
+(seeded, so the mix is reproducible), and measures per-query wall
+latency.
+
+Outputs:
+
+* ``benchmarks/results/serve_qps.txt`` - human-readable table;
+* ``benchmarks/results/BENCH_serve.json`` - machine-readable qps,
+  p50/p99 latency per query shape, cache hit rate, and the
+  warm-query-vs-fresh-solve speedup (the CI ``serve`` job asserts on
+  this file).
+
+Shape assertions: every answer is bit-identical to the in-memory
+``ApspResult.dist``, the cache ends hot (hit rate > 0.5 under a zipf
+working set), and the warm point query beats a fresh solve by >= 100x.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from common import RESULTS_DIR, write_table
+
+import repro
+from repro.graphs import erdos_renyi
+
+SEED = 21
+N = 192
+SOLVE = dict(variant="async", block_size=16, n_nodes=2, ranks_per_node=2)
+ARTIFACT_BLOCK = 32
+CACHE_BYTES = 1 << 22  # 4 MiB: holds the hot set, not the whole matrix
+
+N_POINT = 2000
+N_BATCH = 20
+BATCH_PAIRS = 256
+N_NEAREST = 50
+K = 10
+
+
+def _query_mix(rng: np.random.Generator, n: int):
+    """A zipf-ish working set: most queries hit a small hot vertex set,
+    the tail wanders - the access pattern an LRU cache is for."""
+    hot = rng.permutation(n)[: max(8, n // 8)]
+
+    def vertex():
+        if rng.random() < 0.8:
+            return int(rng.choice(hot))
+        return int(rng.integers(0, n))
+
+    points = [(vertex(), vertex()) for _ in range(N_POINT)]
+    batches = [
+        np.array([(vertex(), vertex()) for _ in range(BATCH_PAIRS)])
+        for _ in range(N_BATCH)
+    ]
+    nearest = [vertex() for _ in range(N_NEAREST)]
+    return points, batches, nearest
+
+
+def run_load() -> dict:
+    rng = np.random.default_rng(SEED)
+    w = erdos_renyi(N, 0.25, seed=SEED)
+
+    t0 = time.perf_counter()
+    result = repro.solve(w, **SOLVE)
+    solve_seconds = time.perf_counter() - t0
+
+    out = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.apsp"
+        t0 = time.perf_counter()
+        result.save(path, block_size=ARTIFACT_BLOCK, graph=w)
+        out["save_seconds"] = time.perf_counter() - t0
+
+        server = repro.serve(path, cache_bytes=CACHE_BYTES)
+        points, batches, nearest = _query_mix(rng, N)
+
+        # Cold first touch, then the measured warm passes.
+        server.distance(*points[0])
+
+        lat_point = np.empty(len(points))
+        for i, (s, t) in enumerate(points):
+            t0 = time.perf_counter()
+            d = server.distance(s, t)
+            lat_point[i] = time.perf_counter() - t0
+            assert d == result.dist[s, t]  # bit-identical to the solve
+
+        lat_batch = np.empty(len(batches))
+        for i, pairs in enumerate(batches):
+            t0 = time.perf_counter()
+            got = server.batch(pairs)
+            lat_batch[i] = time.perf_counter() - t0
+            np.testing.assert_array_equal(
+                got, result.dist[pairs[:, 0], pairs[:, 1]]
+            )
+
+        lat_nearest = np.empty(len(nearest))
+        for i, s in enumerate(nearest):
+            t0 = time.perf_counter()
+            server.k_nearest(s, K)
+            lat_nearest[i] = time.perf_counter() - t0
+
+        stats = server.cache_stats()
+        server.close()
+
+    total_queries = len(points) + len(batches) + len(nearest)
+    total_seconds = lat_point.sum() + lat_batch.sum() + lat_nearest.sum()
+    total_pairs = len(points) + N_BATCH * BATCH_PAIRS + len(nearest)
+    out.update(
+        n=N,
+        solve_seconds=solve_seconds,
+        qps=total_queries / total_seconds,
+        pairs_per_second=total_pairs / total_seconds,
+        point=_percentiles(lat_point),
+        batch=_percentiles(lat_batch),
+        k_nearest=_percentiles(lat_nearest),
+        cache=stats,
+        speedup_vs_solve=solve_seconds / float(np.mean(lat_point)),
+    )
+    return out
+
+
+def _percentiles(lat: np.ndarray) -> dict:
+    return {
+        "count": int(lat.size),
+        "mean_us": float(np.mean(lat) * 1e6),
+        "p50_us": float(np.percentile(lat, 50) * 1e6),
+        "p99_us": float(np.percentile(lat, 99) * 1e6),
+    }
+
+
+def test_serve_qps(benchmark):
+    out = benchmark.pedantic(run_load, rounds=1, iterations=1)
+
+    rows = [
+        [name, str(p["count"]), f"{p['mean_us']:.1f}",
+         f"{p['p50_us']:.1f}", f"{p['p99_us']:.1f}"]
+        for name, p in (
+            ("point", out["point"]),
+            (f"batch x{BATCH_PAIRS}", out["batch"]),
+            (f"k-nearest (k={K})", out["k_nearest"]),
+        )
+    ]
+    hit_rate = out["cache"]["hit_rate"]
+    chart = (
+        f"qps (mixed)          {out['qps']:.0f}\n"
+        f"pairs/s              {out['pairs_per_second']:.0f}\n"
+        f"cache hit rate       {hit_rate:.1%}\n"
+        f"fresh solve          {out['solve_seconds'] * 1e3:.1f} ms\n"
+        f"warm point query     {out['point']['mean_us']:.1f} us "
+        f"({out['speedup_vs_solve']:.0f}x faster)"
+    )
+    write_table(
+        "serve_qps",
+        f"Serving load test: n={N} artifact (tile {ARTIFACT_BLOCK}), "
+        f"{CACHE_BYTES >> 20} MiB cache, zipf query mix (seed {SEED})",
+        ["query", "count", "mean us", "p50 us", "p99 us"],
+        rows,
+        chart=chart,
+    )
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(out, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # The acceptance criteria of the serving tentpole.
+    assert out["speedup_vs_solve"] >= 100.0, (
+        f"warm point query only {out['speedup_vs_solve']:.1f}x faster than a solve"
+    )
+    assert hit_rate > 0.5, f"cache never warmed up: hit rate {hit_rate:.1%}"
+    assert out["point"]["p99_us"] > 0.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    print(json.dumps(run_load(), indent=2))

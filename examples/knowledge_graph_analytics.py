@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import apsp
+import repro
 from repro.analysis import closeness_centrality, summarize
 from repro.extensions import (
     IncrementalApsp,
@@ -40,7 +40,7 @@ def main() -> None:
     print(f"synthetic knowledge graph: {n} entities, {m} relations\n")
 
     # --- 1. APSP on the simulated cluster (memory-efficient variant) ---
-    result = apsp(
+    result = repro.solve(
         weights,
         variant="offload",
         block_size=20,

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import apsp
-from repro.core import blocked_fw
+from repro.core import apsp, blocked_fw
 from repro.graphs import erdos_renyi
 from repro.semiring import INF, MAX_MIN, MIN_MAX, MIN_PLUS, OR_AND
 

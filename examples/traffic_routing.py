@@ -12,7 +12,7 @@ Run:  python examples/traffic_routing.py
 
 from __future__ import annotations
 
-from repro import apsp
+import repro
 from repro.analysis import summarize
 from repro.extensions import IncrementalApsp, next_hop_from_distances, reconstruct_path
 from repro.graphs import grid_road_network
@@ -30,7 +30,7 @@ def main() -> None:
 
     # --- All-pairs travel times on the simulated cluster, with
     # --- distributed path generation (next hops computed in-sweep) -------
-    result = apsp(
+    result = repro.solve(
         weights,
         variant="async",
         block_size=16,

@@ -19,11 +19,13 @@ deprecated in favor of :func:`repro.solve`.
 """
 
 from .errors import (
+    ArtifactError,
     CheckpointError,
     CommTimeoutError,
     ConfigurationError,
     GpuOutOfMemory,
     NegativeCycleError,
+    QueryError,
     RankFailure,
     ReproError,
     SilentCorruptionError,
@@ -43,14 +45,22 @@ __all__ = [
     "ApspResult",
     "Variant",
     "FaultPlan",
+    # the serving surface (repro.serve is callable AND a namespace)
+    "serve",
+    "ServeConfig",
+    "QueryServer",
+    "save_artifact",
+    "load_artifact",
     # legacy entry point (deprecated)
     "apsp",
     # errors
+    "ArtifactError",
     "CheckpointError",
     "CommTimeoutError",
     "ConfigurationError",
     "GpuOutOfMemory",
     "NegativeCycleError",
+    "QueryError",
     "RankFailure",
     "ReproError",
     "SilentCorruptionError",
@@ -80,6 +90,16 @@ def __getattr__(name):  # lazy imports keep `import repro` light
         from . import api
 
         return getattr(api, name)
+    if name == "serve":
+        # The serve package's module object is callable, so
+        # `repro.serve(result)` and `repro.serve.QueryServer` both work.
+        import importlib
+
+        return importlib.import_module(".serve", __name__)
+    if name in ("ServeConfig", "QueryServer", "save_artifact", "load_artifact"):
+        import importlib
+
+        return getattr(importlib.import_module(".serve", __name__), name)
     if name == "apsp":
         return _deprecated_apsp
     if name in ("ApspResult", "Variant"):

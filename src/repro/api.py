@@ -43,59 +43,23 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Sequence, Union
 
-from .errors import ConfigurationError, InternalError, ReproError, SinkError
+from .errors import ConfigurationError, InternalError, ReproError
+from .obs.sinks import ObsSinks, check_sink_path
 
 __all__ = [
     "ObsSinks",
     "SolveConfig",
     "solve",
+    "serve",
     "submit",
     "resolve_machine",
     "config_to_jsonable",
 ]
 
-
-def _check_sink_path(path: str) -> None:
-    """Raise :class:`SinkError` unless ``path`` can be written."""
-    target = os.path.abspath(path)
-    if os.path.isdir(target):
-        raise SinkError(path, "path is a directory")
-    parent = os.path.dirname(target) or "."
-    if not os.path.isdir(parent):
-        raise SinkError(path, f"directory {parent!r} does not exist")
-    if not os.access(parent, os.W_OK):
-        raise SinkError(path, f"directory {parent!r} is not writable")
-    if os.path.exists(target) and not os.access(target, os.W_OK):
-        raise SinkError(path, "existing file is not writable")
-
-
-@dataclass(frozen=True)
-class ObsSinks:
-    """Observability attachment of one solve (see :mod:`repro.obs`).
-
-    Any non-default field arms the metrics registry; ``trace_out``
-    additionally forces span tracing.  :meth:`validate` runs *before*
-    the solve, so an unwritable path fails fast
-    (:class:`~repro.errors.SinkError`, CLI exit code 12) instead of
-    after the run.
-    """
-
-    #: Collect a :class:`~repro.obs.metrics.MetricsRegistry` on the run
-    #: (lands on ``result.metrics``) even without file sinks.
-    metrics: bool = False
-    #: Write the metrics catalog as JSON here after the solve.
-    metrics_out: Optional[str] = None
-    #: Write a Chrome ``trace_event`` JSON (Perfetto-openable) here.
-    trace_out: Optional[str] = None
-
-    @property
-    def enabled(self) -> bool:
-        return bool(self.metrics or self.metrics_out or self.trace_out)
-
-    def validate(self) -> None:
-        for path in (self.metrics_out, self.trace_out):
-            if path is not None:
-                _check_sink_path(path)
+# Back-compat alias: ObsSinks and its path validation now live in
+# repro.obs.sinks, shared with ServeConfig (repro/serve/config.py) and
+# the sched CLI instead of duplicated per config class.
+_check_sink_path = check_sink_path
 
 
 @dataclass(frozen=True)
@@ -338,6 +302,24 @@ def _solve_engine(_engine, graph, config: SolveConfig, grid):
             f"n={result.report.n_virtual:g} b={result.report.block_size}",
         )
     return result
+
+
+def serve(source, config=None, **kwargs):
+    """Open a :class:`~repro.serve.QueryServer` over a solved instance -
+    the serving sibling of :func:`solve` (see :mod:`repro.serve`).
+
+    ``source`` is an artifact path / :class:`~repro.serve.Artifact`
+    (persisted via :meth:`~repro.core.driver.ApspResult.save`), an
+    :class:`~repro.core.driver.ApspResult`, or a distance matrix;
+    ``config`` a :class:`~repro.serve.ServeConfig` with keyword
+    overrides on top::
+
+        server = repro.serve(result, cache_bytes=1 << 28)
+        d = server.distance(0, 42)
+    """
+    from .serve.server import serve as _serve
+
+    return _serve(source, config, **kwargs)
 
 
 def submit(graph, config: Optional[SolveConfig] = None, *, scheduler=None,

@@ -12,10 +12,21 @@ Run a simulated distributed APSP from the shell::
     repro-apsp variants
     repro-apsp backends
 
+Solve once, then answer distance queries from the persisted artifact
+(the serving layer, docs/SERVING.md)::
+
+    repro-apsp serve build runs/road.apsp --n 256 --nodes 4
+    repro-apsp serve info runs/road.apsp
+    repro-apsp serve update runs/road.apsp --edge 4,7,0.25
+    repro-apsp query runs/road.apsp --pair 0,255 --pair 3,9 \
+        --nearest 0,5 --cache-bytes 268435456
+
 All solver paths route through :func:`repro.solve` /
 :class:`repro.SolveConfig`; ``--metrics-out``/``--trace-out`` sinks are
 validated *before* solving and an unusable path exits with code 12
-(:class:`~repro.errors.SinkError`).
+(:class:`~repro.errors.SinkError`).  An unusable or corrupt artifact
+exits 17 (:class:`~repro.errors.ArtifactError`), a malformed query 18
+(:class:`~repro.errors.QueryError`).
 """
 
 from __future__ import annotations
@@ -277,6 +288,96 @@ def build_parser() -> argparse.ArgumentParser:
     fmin.add_argument(
         "--output", type=str, default=None, metavar="PATH",
         help="write here instead of rewriting in place",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="persist and manage solve artifacts (see docs/SERVING.md)"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    sbuild = serve_sub.add_parser(
+        "build", help="solve and persist a query-ready artifact directory"
+    )
+    sbuild.add_argument("artifact", type=str, help="artifact directory to create")
+    sbuild.add_argument("--n", type=int, default=128, help="number of vertices")
+    sbuild.add_argument("--input", type=str, default=None,
+                        help=".npz weight matrix (overrides --n)")
+    sbuild.add_argument("--block", type=int, default=None, help="solver block size b")
+    sbuild.add_argument(
+        "--artifact-block", type=int, default=None, metavar="B",
+        help="artifact tile size (default: min(n, 128); independent of --block)",
+    )
+    sbuild.add_argument(
+        "--variant",
+        default="async",
+        choices=["baseline", "pipelined", "reordering", "async", "offload",
+                 "offload-pipelined"],
+    )
+    sbuild.add_argument("--seed", type=int, default=0)
+    sbuild.add_argument("--density", type=float, default=1.0, help="edge probability")
+    sbuild.add_argument(
+        "--kernel-backend", type=str, default=None, metavar="NAME",
+        help="SrGemm kernel backend for the solve",
+    )
+    sbuild.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an existing artifact directory at the target path",
+    )
+    sbuild.add_argument(
+        "--no-graph", action="store_true",
+        help="omit the weight matrix from the artifact "
+        "(smaller, but disables `serve update`)",
+    )
+    _add_cluster_args(sbuild)
+
+    sinfo = serve_sub.add_parser("info", help="describe an artifact")
+    sinfo.add_argument("artifact", type=str, help="artifact directory")
+
+    supdate = serve_sub.add_parser(
+        "update", help="apply edge updates, rewriting only dirtied tiles"
+    )
+    supdate.add_argument("artifact", type=str, help="artifact directory")
+    supdate.add_argument(
+        "--edge", action="append", required=True, metavar="U,V,W",
+        help="set edge (u, v) to weight w ('inf' removes it); repeatable",
+    )
+    supdate.add_argument(
+        "--kernel-backend", type=str, default=None, metavar="NAME",
+        help="SrGemm backend for any escalated re-solve",
+    )
+    supdate.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write serve.* metrics (incl. incremental counters) as JSON",
+    )
+
+    query = sub.add_parser(
+        "query", help="answer distance queries from a solve artifact"
+    )
+    query.add_argument("artifact", type=str, help="artifact directory")
+    query.add_argument(
+        "--pair", action="append", default=None, metavar="S,T",
+        help="print d(s, t); repeatable (all pairs answered as one batch)",
+    )
+    query.add_argument(
+        "--nearest", type=str, default=None, metavar="S,K",
+        help="print the k nearest reachable vertices to s",
+    )
+    query.add_argument(
+        "--submatrix", type=str, default=None, metavar="ROWS:COLS",
+        help="print a dense submatrix; ROWS and COLS are comma lists, "
+        "e.g. '0,1,2:5,9'",
+    )
+    query.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="block-cache budget (default: $REPRO_SERVE_CACHE_BYTES or 64 MiB)",
+    )
+    query.add_argument(
+        "--no-verify", action="store_true",
+        help="skip per-block CRC32 verification on first load",
+    )
+    query.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write serve.* metrics (cache hits/misses, query counts) as JSON",
     )
 
     return parser
@@ -691,6 +792,145 @@ def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "build":
+        return _cmd_serve_build(args)
+    if args.serve_command == "info":
+        return _cmd_serve_info(args)
+    return _cmd_serve_update(args)
+
+
+def _cmd_serve_build(args: argparse.Namespace) -> int:
+    from .api import SolveConfig, solve
+
+    config = SolveConfig.from_env(
+        variant=args.variant,
+        block_size=args.block,
+        n_nodes=args.nodes,
+        ranks_per_node=args.ranks_per_node,
+        machine=args.machine,
+        kernel_backend=args.kernel_backend,
+    )
+    w = _load_graph(args)
+    result = solve(w, config)
+    print(result.report.summary())
+    artifact = result.save(
+        args.artifact,
+        block_size=args.artifact_block,
+        graph=None if args.no_graph else w,
+        overwrite=args.overwrite,
+    )
+    print()
+    print(artifact.describe())
+    return 0
+
+
+def _cmd_serve_info(args: argparse.Namespace) -> int:
+    from .serve import load_artifact
+
+    print(load_artifact(args.artifact).describe())
+    return 0
+
+
+def _cmd_serve_update(args: argparse.Namespace) -> int:
+    from .errors import QueryError
+    from .obs.sinks import ObsSinks
+    from .serve import ServeConfig, serve
+
+    def parse_edge(spec: str):
+        parts = spec.split(",")
+        if len(parts) != 3:
+            raise QueryError(f"--edge wants U,V,W, got {spec!r}")
+        try:
+            return int(parts[0]), int(parts[1]), float(parts[2])
+        except ValueError:
+            raise QueryError(f"--edge wants U,V,W, got {spec!r}") from None
+
+    updates = [parse_edge(spec) for spec in args.edge]
+    config = ServeConfig.from_env(
+        kernel_backend=args.kernel_backend,
+        obs=ObsSinks(metrics_out=args.metrics_out),
+    )
+    with serve(args.artifact, config) as server:
+        expensive = server.batch_update(updates)
+        stats = server.stats()["incremental"]
+    fast = stats["fast_updates"]
+    print(
+        f"{len(updates)} update(s): {fast} fast (O(n^2) patch, "
+        f"{stats['dirty_blocks']} tile(s) rewritten), "
+        f"{stats['recomputes']} re-solve(s) covering {expensive} update(s)"
+    )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .errors import QueryError
+    from .obs.sinks import ObsSinks
+    from .serve import ServeConfig, serve
+
+    def parse_ints(spec: str, what: str, want: int):
+        parts = spec.split(",")
+        if len(parts) != want:
+            raise QueryError(f"{what} wants {want} comma-separated ints, got {spec!r}")
+        try:
+            return [int(p) for p in parts]
+        except ValueError:
+            raise QueryError(f"{what} wants integers, got {spec!r}") from None
+
+    config = ServeConfig.from_env(
+        cache_bytes=args.cache_bytes,
+        verify_blocks=not args.no_verify,
+        obs=ObsSinks(metrics_out=args.metrics_out),
+    )
+    did_anything = False
+    with serve(args.artifact, config) as server:
+        if args.pair:
+            pairs = [parse_ints(spec, "--pair", 2) for spec in args.pair]
+            dists = server.batch(pairs)
+            for (s, t), d in zip(pairs, dists):
+                print(f"d({s}, {t}) = {d:g}")
+            did_anything = True
+        if args.nearest:
+            s, k = parse_ints(args.nearest, "--nearest", 2)
+            print(f"{min(k, server.n - 1)} nearest to {s}:")
+            for v, d in server.k_nearest(s, k):
+                print(f"  v{v:<6d} {d:g}")
+            did_anything = True
+        if args.submatrix:
+            halves = args.submatrix.split(":")
+            if len(halves) != 2:
+                raise QueryError(
+                    f"--submatrix wants ROWS:COLS, got {args.submatrix!r}"
+                )
+            try:
+                rows = [int(p) for p in halves[0].split(",") if p.strip()]
+                cols = [int(p) for p in halves[1].split(",") if p.strip()]
+            except ValueError:
+                raise QueryError(
+                    f"--submatrix wants comma-separated ints on each side "
+                    f"of ':', got {args.submatrix!r}"
+                ) from None
+            sub = server.submatrix(rows, cols)
+            header = "        " + " ".join(f"{c:>10d}" for c in cols)
+            print(header)
+            for r, line in zip(rows, sub):
+                print(f"{r:>7d} " + " ".join(f"{v:>10.4g}" for v in line))
+            did_anything = True
+        if not did_anything:
+            print(server.describe())
+        stats = server.cache_stats()
+    print(
+        f"cache: {stats['hits']} hit(s) / {stats['misses']} miss(es), "
+        f"{stats['resident_blocks']} block(s) "
+        f"({stats['resident_bytes']} bytes) resident"
+    )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def _exit_code_for(exc: Exception) -> int:
     """Distinct, stable exit codes per failure class so scripts (and
     the CI fault matrix) can tell *why* a run failed.  The table lives
@@ -714,6 +954,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": cmd_analyze,
         "sched": cmd_sched,
         "fuzz": cmd_fuzz,
+        "serve": cmd_serve,
+        "query": cmd_query,
     }
     try:
         return handlers[args.command](args)

@@ -23,7 +23,7 @@ scheduler (:mod:`repro.sched`) can drive the same machinery over a
 
 Typical use::
 
-    from repro import apsp
+    from repro.core import apsp
     from repro.graphs import uniform_random_dense
 
     w = uniform_random_dense(256, seed=0)
@@ -31,6 +31,10 @@ Typical use::
                   ranks_per_node=4)
     print(result.report.summary())
     dist = result.dist
+
+(Through the public API this is ``repro.solve(w, repro.SolveConfig(...))``;
+``result.save(path)`` then persists the solve as a serving artifact -
+see :mod:`repro.serve`.)
 """
 
 from __future__ import annotations
@@ -128,6 +132,21 @@ class ApspResult:
     def faults(self) -> Optional[dict]:
         """Fault injection/recovery counters (alias of ``fault_counters``)."""
         return self.fault_counters
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path, *, block_size=None, graph=None, overwrite=False):
+        """Persist this result as a serving artifact directory (see
+        :mod:`repro.serve`): distance blocks at rest (content-addressed,
+        CRC-per-block) plus the run certificate and solve provenance.
+        Pass ``graph=`` (the solved weight matrix) to enable the
+        incremental edge-update path.  Returns the saved
+        :class:`~repro.serve.Artifact`; serve it with
+        ``repro.serve(path)``."""
+        from ..serve.artifact import save_artifact
+
+        return save_artifact(
+            self, path, block_size=block_size, graph=graph, overwrite=overwrite
+        )
 
 
 def default_block_size(n: int, grid: ProcessGrid) -> int:

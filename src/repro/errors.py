@@ -23,6 +23,8 @@ FaultPlanError               13
 InternalError                14
 AdmissionError               15
 DeadlineExceeded             16
+ArtifactError                17
+QueryError                   18
 =========================  ====
 
 :class:`InternalError` is the catch-all for *unexpected* exceptions
@@ -52,6 +54,8 @@ __all__ = [
     "InternalError",
     "AdmissionError",
     "DeadlineExceeded",
+    "ArtifactError",
+    "QueryError",
     "exit_code_for",
 ]
 
@@ -257,6 +261,26 @@ class DeadlineExceeded(ReproError, TimeoutError):
         )
 
 
+class ArtifactError(ReproError, OSError):
+    """A persistent solve artifact (see :mod:`repro.serve`) is unusable:
+    the directory or its manifest is missing or malformed, the format
+    version is unsupported, or a block failed its CRC32 integrity check
+    on load.  A corrupt artifact is *refused*, never served - the block
+    store would rather answer nothing than answer wrong."""
+
+    def __init__(self, path: str, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"artifact {str(path)!r} unusable: {reason}")
+
+
+class QueryError(ReproError, ValueError):
+    """A distance query against a :class:`~repro.serve.QueryServer` is
+    invalid: a vertex outside ``[0, n)``, a non-positive ``k``,
+    malformed pair batches, or an operation the artifact cannot support
+    (e.g. ``update_edge`` on an artifact saved without its graph)."""
+
+
 #: (class, code) pairs ordered most-specific first - several classes
 #: subclass others, so order is significant for the isinstance scan.
 _EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
@@ -275,6 +299,8 @@ _EXIT_CODE_TABLE: "tuple[tuple[type, int], ...]" = (
     (InternalError, 14),
     (AdmissionError, 15),
     (DeadlineExceeded, 16),
+    (ArtifactError, 17),
+    (QueryError, 18),
 )
 
 

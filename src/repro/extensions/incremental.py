@@ -11,7 +11,10 @@ Maintains an APSP solution under edge updates:
 
 The class keeps counters so callers can see how many updates took the
 fast path - the economics that make incremental APSP attractive for
-the paper's knowledge-graph use case.
+the paper's knowledge-graph use case.  Pass an
+:class:`~repro.obs.metrics.MetricsRegistry` as ``metrics=`` to surface
+them as ``serve.incremental.*`` counters, the same family the serving
+layer's :class:`~repro.serve.incremental.ArtifactPatcher` emits.
 """
 
 from __future__ import annotations
@@ -26,17 +29,58 @@ __all__ = ["IncrementalApsp"]
 
 
 class IncrementalApsp:
-    """An APSP solution that tracks a mutating graph."""
+    """An APSP solution that tracks a mutating graph.
 
-    def __init__(self, weights: np.ndarray, block_size: int = 64):
-        w = np.array(weights, dtype=np.float64, copy=True)
+    Parameters
+    ----------
+    weights:
+        Square weight matrix.  Floating dtypes are preserved
+        (``float32`` stays ``float32``); everything else is promoted
+        to ``float64`` so +inf can mark absent edges.
+    block_size:
+        Tile size for the blocked recompute path.
+    backend:
+        SrGemm kernel backend (name or instance) for recomputes;
+        ``None`` resolves through the :mod:`repro.semiring.backends`
+        registry (``REPRO_SRGEMM_BACKEND`` et al.), exactly like
+        :func:`repro.core.blocked_fw`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; updates
+        increment ``serve.incremental.fast_updates`` /
+        ``serve.incremental.recomputes``.
+    """
+
+    def __init__(self, weights: np.ndarray, block_size: int = 64, *,
+                 backend=None, metrics=None):
+        dtype = np.float64
+        if isinstance(weights, np.ndarray) and np.issubdtype(weights.dtype, np.floating):
+            dtype = weights.dtype
+        w = np.array(weights, dtype=dtype, copy=True)
         if w.ndim != 2 or w.shape[0] != w.shape[1]:
             raise ValueError(f"weights must be square, got {w.shape}")
         self.block_size = block_size
+        self.backend = backend
+        self.metrics = metrics
         self.weights = w
-        self.dist = blocked_fw(w, min(block_size, w.shape[0]))
+        self.dist = self._solve()
         self.fast_updates = 0
         self.recomputes = 0
+
+    def _solve(self) -> np.ndarray:
+        """A blocked recompute, cast back to the tracked dtype (the
+        kernels work in the semiring's own dtype)."""
+        dist = blocked_fw(self.weights, min(self.block_size, self.n),
+                          backend=self.backend)
+        return dist.astype(self.weights.dtype, copy=False)
+
+    def _count(self, fast: bool) -> None:
+        if fast:
+            self.fast_updates += 1
+        else:
+            self.recomputes += 1
+        if self.metrics is not None:
+            name = "fast_updates" if fast else "recomputes"
+            self.metrics.counter(f"serve.incremental.{name}").inc()
 
     @property
     def n(self) -> int:
@@ -59,14 +103,14 @@ class IncrementalApsp:
         self.weights[u, v] = weight
         if weight <= old:
             self._absorb_decrease(u, v, weight)
-            self.fast_updates += 1
+            self._count(fast=True)
             return True
         # Increase: only expensive if some shortest path used (u, v).
         if not self._edge_on_some_path(u, v, old):
-            self.fast_updates += 1
+            self._count(fast=True)
             return True
-        self.dist = blocked_fw(self.weights, min(self.block_size, n))
-        self.recomputes += 1
+        self.dist = self._solve()
+        self._count(fast=False)
         return False
 
     def insert_edge(self, u: int, v: int, weight: float) -> bool:
@@ -101,18 +145,16 @@ class IncrementalApsp:
             self.weights[u, v] = weight
             if weight <= old:
                 self._absorb_decrease(u, v, weight)
-                self.fast_updates += 1
+                self._count(fast=True)
             else:
                 if self._edge_on_some_path(u, v, old):
                     staged_increase = True
                     expensive += 1
                 else:
-                    self.fast_updates += 1
+                    self._count(fast=True)
         if staged_increase:
-            from ..core.blocked import blocked_fw
-
-            self.dist = blocked_fw(self.weights, min(self.block_size, self.n))
-            self.recomputes += 1
+            self.dist = self._solve()
+            self._count(fast=False)
         return expensive
 
     # -- internals -------------------------------------------------------

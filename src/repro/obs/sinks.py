@@ -1,0 +1,64 @@
+"""Observability sink attachment shared by every public config.
+
+:class:`ObsSinks` is the one vocabulary for "where do this run's
+metrics and traces go": :class:`~repro.api.SolveConfig` carries one per
+solve, :class:`~repro.serve.ServeConfig` one per query server, and the
+``sched`` CLI validates its report/metrics/trace paths through the same
+:func:`check_sink_path`.  Validation runs *before* the work starts, so
+an unwritable path fails in milliseconds (:class:`~repro.errors.SinkError`,
+CLI exit code 12) instead of after a possibly hour-long run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SinkError
+
+__all__ = ["ObsSinks", "check_sink_path"]
+
+
+def check_sink_path(path: str) -> None:
+    """Raise :class:`SinkError` unless ``path`` can be written."""
+    target = os.path.abspath(path)
+    if os.path.isdir(target):
+        raise SinkError(path, "path is a directory")
+    parent = os.path.dirname(target) or "."
+    if not os.path.isdir(parent):
+        raise SinkError(path, f"directory {parent!r} does not exist")
+    if not os.access(parent, os.W_OK):
+        raise SinkError(path, f"directory {parent!r} is not writable")
+    if os.path.exists(target) and not os.access(target, os.W_OK):
+        raise SinkError(path, "existing file is not writable")
+
+
+@dataclass(frozen=True)
+class ObsSinks:
+    """Observability attachment of one solve / query server (see
+    :mod:`repro.obs`).
+
+    Any non-default field arms the metrics registry; ``trace_out``
+    additionally forces span tracing.  :meth:`validate` runs *before*
+    the solve, so an unwritable path fails fast
+    (:class:`~repro.errors.SinkError`, CLI exit code 12) instead of
+    after the run.
+    """
+
+    #: Collect a :class:`~repro.obs.metrics.MetricsRegistry` on the run
+    #: (lands on ``result.metrics``) even without file sinks.
+    metrics: bool = False
+    #: Write the metrics catalog as JSON here after the solve.
+    metrics_out: Optional[str] = None
+    #: Write a Chrome ``trace_event`` JSON (Perfetto-openable) here.
+    trace_out: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.metrics or self.metrics_out or self.trace_out)
+
+    def validate(self) -> None:
+        for path in (self.metrics_out, self.trace_out):
+            if path is not None:
+                check_sink_path(path)

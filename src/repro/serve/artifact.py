@@ -1,0 +1,578 @@
+"""Persistent solve artifacts: a distance matrix at rest, in blocks.
+
+An *artifact* is a directory holding one solved APSP instance so that
+point queries never pay for a solve again:
+
+``manifest.json``
+    The header: format version, matrix shape/dtype/block size, the run
+    certificate and solve provenance carried over from the
+    :class:`~repro.core.driver.ApspResult`, and the block table - one
+    ``[bi, bj, sha256, crc32, rows, cols]`` row per tile.
+``blocks/<sha256>.blk``
+    Raw C-contiguous bytes of one ``b x b`` tile (ragged at the edge),
+    *content-addressed*: the filename is the SHA-256 of the bytes, so
+    identical tiles (all-infinite regions, symmetric halves) are stored
+    once and integrity is checkable offline.
+``graph.npz`` (optional)
+    The weight matrix the solve consumed, enabling the incremental
+    update path (:mod:`repro.serve.incremental`); without it the
+    artifact is read-only.
+
+Reads are memory-mapped (``np.memmap``) so a server over a matrix much
+larger than RAM touches only the pages a query needs; every block's
+CRC32 is verified on its first load and a mismatch *refuses* the block
+(:class:`~repro.errors.ArtifactError`, exit code 17) - the store would
+rather answer nothing than answer wrong.  Round trips are bit-exact
+for every dtype: blocks are raw bytes, never re-encoded.
+
+``save_artifact`` / ``load_artifact`` are the module-level entry
+points; :meth:`repro.core.driver.ApspResult.save` is the method-form
+sugar.  :class:`MemoryArtifact` adapts an in-memory result to the same
+interface so ``repro.serve(result)`` needs no disk at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+import numpy as np
+
+from ..errors import ArtifactError, ConfigurationError
+
+__all__ = [
+    "Artifact",
+    "MemoryArtifact",
+    "save_artifact",
+    "load_artifact",
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "MANIFEST_NAME",
+]
+
+ARTIFACT_FORMAT = "repro-apsp-artifact"
+ARTIFACT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+BLOCKS_DIR = "blocks"
+GRAPH_NAME = "graph.npz"
+
+PathLike = Union[str, os.PathLike]
+
+
+def _block_grid(n: int, b: int) -> int:
+    return -(-n // b)
+
+
+def _block_shape(n: int, b: int, bi: int, bj: int) -> tuple[int, int]:
+    return (min(b, n - bi * b), min(b, n - bj * b))
+
+
+def default_artifact_block_size(n: int) -> int:
+    """A serving-oriented default tile: large enough that one query's
+    block amortizes its read, small enough that a byte-budget cache
+    holds many distinct tiles (~128 rows, clamped to the matrix)."""
+    return max(1, min(n, 128))
+
+
+class Artifact:
+    """One persisted APSP solve, lazily readable block by block.
+
+    Construct via :func:`load_artifact` / :func:`save_artifact`, not
+    directly.  Blocks load as read-only arrays; pass ``mmap=False`` to
+    force materialized reads (e.g. when the caller will hold many
+    blocks and the OS page cache churns).
+    """
+
+    def __init__(self, path: Path, manifest: dict):
+        self.path = Path(path)
+        self.manifest = manifest
+        self.n: int = int(manifest["n"])
+        self.dtype = np.dtype(manifest["dtype"])
+        self.block_size: int = int(manifest["block_size"])
+        self.nb: int = int(manifest["nb"])
+        #: (bi, bj) -> {"hash", "crc32", "rows", "cols"}
+        self._blocks: dict[tuple[int, int], dict] = {}
+        for bi, bj, digest, crc, rows, cols in manifest["blocks"]:
+            self._blocks[(int(bi), int(bj))] = {
+                "hash": digest,
+                "crc32": int(crc),
+                "rows": int(rows),
+                "cols": int(cols),
+            }
+        #: Content hashes whose CRC already checked out in this process.
+        self._verified: set[str] = set()
+        self._graph_cache: Optional[np.ndarray] = None
+        self._manifest_dirty = False
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def content_id(self) -> str:
+        """SHA-256 over the ordered block hashes + shape header: two
+        artifacts with the same id hold bit-identical distances."""
+        h = hashlib.sha256()
+        h.update(f"{self.n}:{self.dtype.str}:{self.block_size}:".encode())
+        for key in sorted(self._blocks):
+            h.update(self._blocks[key]["hash"].encode())
+        return h.hexdigest()
+
+    @property
+    def certificate(self) -> Optional[dict]:
+        return self.manifest.get("certificate")
+
+    @property
+    def solve_header(self) -> dict:
+        """Provenance of the producing solve (variant, machine, ...)."""
+        return dict(self.manifest.get("solve") or {})
+
+    @property
+    def has_graph(self) -> bool:
+        return (self.path / GRAPH_NAME).exists()
+
+    # -- reads ------------------------------------------------------------
+    def block_keys(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._blocks))
+
+    def block_nbytes(self, bi: int, bj: int) -> int:
+        entry = self._blocks[(bi, bj)]
+        return entry["rows"] * entry["cols"] * self.dtype.itemsize
+
+    def _block_path(self, digest: str) -> Path:
+        return self.path / BLOCKS_DIR / f"{digest}.blk"
+
+    def load_block(
+        self, bi: int, bj: int, *, mmap: bool = True, verify: bool = True
+    ) -> np.ndarray:
+        """The (bi, bj) tile as a read-only ``(rows, cols)`` array.
+
+        The first load of each distinct content hash verifies its CRC32
+        (and, on mismatch, refuses with :class:`ArtifactError`);
+        subsequent loads of the same content skip the scan.
+        """
+        entry = self._blocks.get((bi, bj))
+        if entry is None:
+            raise ArtifactError(
+                self.path, f"block ({bi}, {bj}) outside the {self.nb}x{self.nb} grid"
+            )
+        digest = entry["hash"]
+        path = self._block_path(digest)
+        shape = (entry["rows"], entry["cols"])
+        nbytes = shape[0] * shape[1] * self.dtype.itemsize
+        try:
+            size = path.stat().st_size
+        except OSError:
+            raise ArtifactError(self.path, f"block file {path.name} is missing") from None
+        if size != nbytes:
+            raise ArtifactError(
+                self.path,
+                f"block ({bi}, {bj}) file {path.name} holds {size} bytes, "
+                f"expected {nbytes}",
+            )
+        if mmap:
+            data = np.memmap(path, dtype=self.dtype, mode="r", shape=shape)
+        else:
+            data = np.fromfile(path, dtype=self.dtype).reshape(shape)
+            data.setflags(write=False)
+        if verify and digest not in self._verified:
+            crc = zlib.crc32(data.tobytes())
+            if crc != entry["crc32"]:
+                raise ArtifactError(
+                    self.path,
+                    f"block ({bi}, {bj}) failed its CRC32 integrity check "
+                    f"(stored {entry['crc32']}, computed {crc}); refusing to serve it",
+                )
+            self._verified.add(digest)
+        return data
+
+    def dist(self) -> np.ndarray:
+        """Materialize the full n x n distance matrix (tests, re-solve
+        seeding; defeats the point of out-of-core serving otherwise)."""
+        out = np.empty((self.n, self.n), dtype=self.dtype)
+        b = self.block_size
+        for (bi, bj), entry in self._blocks.items():
+            out[
+                bi * b : bi * b + entry["rows"], bj * b : bj * b + entry["cols"]
+            ] = self.load_block(bi, bj, mmap=False)
+        return out
+
+    def load_graph(self) -> np.ndarray:
+        """The weight matrix the solve consumed (mutable copy, cached)."""
+        if self._graph_cache is None:
+            path = self.path / GRAPH_NAME
+            if not path.exists():
+                raise ArtifactError(
+                    self.path,
+                    "artifact was saved without its graph (save with graph=w "
+                    "to enable edge updates)",
+                )
+            with np.load(path) as data:
+                graph = np.array(data["weights"])
+            if graph.shape != (self.n, self.n):
+                raise ArtifactError(
+                    self.path,
+                    f"graph payload shape {graph.shape} does not match n={self.n}",
+                )
+            self._graph_cache = graph
+        return self._graph_cache
+
+    # -- writes (incremental patching) ------------------------------------
+    def rewrite_block(self, bi: int, bj: int, data: np.ndarray) -> None:
+        """Replace tile (bi, bj) with new contents (content-addressed:
+        writes one new block file, repoints the manifest row).  The
+        manifest itself persists on :meth:`flush`."""
+        entry = self._blocks.get((bi, bj))
+        if entry is None:
+            raise ArtifactError(
+                self.path, f"block ({bi}, {bj}) outside the {self.nb}x{self.nb} grid"
+            )
+        expected = (entry["rows"], entry["cols"])
+        if data.shape != expected or data.dtype != self.dtype:
+            raise ArtifactError(
+                self.path,
+                f"rewrite of block ({bi}, {bj}) must be {expected} {self.dtype}, "
+                f"got {data.shape} {data.dtype}",
+            )
+        payload = np.ascontiguousarray(data).tobytes()
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest == entry["hash"]:
+            return
+        path = self._block_path(digest)
+        if not path.exists():
+            _atomic_write_bytes(path, payload)
+        entry["hash"] = digest
+        entry["crc32"] = zlib.crc32(payload)
+        self._verified.add(digest)
+        self._manifest_dirty = True
+
+    def rewrite_graph(self, weights: np.ndarray) -> None:
+        """Replace the graph payload (after edge updates)."""
+        if weights.shape != (self.n, self.n):
+            raise ArtifactError(
+                self.path, f"graph must be ({self.n}, {self.n}), got {weights.shape}"
+            )
+        np.savez_compressed(self.path / GRAPH_NAME, weights=weights)
+        self._graph_cache = np.array(weights)
+
+    def flush(self) -> None:
+        """Persist the manifest (atomically) and drop unreferenced
+        block files left behind by rewrites."""
+        if not self._manifest_dirty:
+            return
+        self.manifest["blocks"] = [
+            [bi, bj, e["hash"], e["crc32"], e["rows"], e["cols"]]
+            for (bi, bj), e in sorted(self._blocks.items())
+        ]
+        _atomic_write_bytes(
+            self.path / MANIFEST_NAME,
+            json.dumps(self.manifest, indent=2, sort_keys=True).encode(),
+        )
+        live = {e["hash"] for e in self._blocks.values()}
+        blocks_dir = self.path / BLOCKS_DIR
+        for stale in blocks_dir.glob("*.blk"):
+            if stale.stem not in live:
+                stale.unlink(missing_ok=True)
+        self._manifest_dirty = False
+
+    def describe(self) -> str:
+        unique = len({e["hash"] for e in self._blocks.values()})
+        total = sum(self.block_nbytes(bi, bj) for bi, bj in self._blocks)
+        lines = [
+            f"artifact {self.path}",
+            f"  n={self.n} dtype={self.dtype.name} block_size={self.block_size} "
+            f"grid={self.nb}x{self.nb}",
+            f"  blocks: {len(self._blocks)} ({unique} unique, {total} logical bytes)",
+            f"  graph payload: {'yes' if self.has_graph else 'no'}",
+            f"  content id: {self.content_id[:16]}...",
+        ]
+        solve = self.solve_header
+        if solve:
+            lines.append(
+                "  solved by: "
+                + ", ".join(f"{k}={solve[k]}" for k in sorted(solve) if solve[k] is not None)
+            )
+        if self.certificate is not None:
+            lines.append(f"  certificate: {self.certificate}")
+        return "\n".join(lines)
+
+
+class MemoryArtifact:
+    """The :class:`Artifact` reading interface over an in-memory
+    distance matrix, so ``repro.serve(result)`` works without disk.
+
+    Rewrites mutate the held matrix; :meth:`flush` is a no-op (there is
+    nothing at rest to persist).
+    """
+
+    path = "<memory>"
+
+    def __init__(
+        self,
+        dist: np.ndarray,
+        *,
+        block_size: Optional[int] = None,
+        graph: Optional[np.ndarray] = None,
+        certificate: Optional[dict] = None,
+        solve: Optional[dict] = None,
+    ):
+        dist = np.asarray(dist)
+        if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+            raise ConfigurationError(
+                f"distance matrix must be square, got {dist.shape}"
+            )
+        self._dist = np.array(dist, copy=True)
+        self.n = dist.shape[0]
+        self.dtype = self._dist.dtype
+        self.block_size = int(block_size or default_artifact_block_size(self.n))
+        if self.block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {self.block_size}")
+        self.nb = _block_grid(self.n, self.block_size)
+        self._graph = None if graph is None else np.array(graph, copy=True)
+        self._certificate = certificate
+        self._solve = dict(solve or {})
+
+    @property
+    def certificate(self) -> Optional[dict]:
+        return self._certificate
+
+    @property
+    def solve_header(self) -> dict:
+        return dict(self._solve)
+
+    @property
+    def has_graph(self) -> bool:
+        return self._graph is not None
+
+    @property
+    def content_id(self) -> str:
+        h = hashlib.sha256()
+        h.update(f"{self.n}:{self.dtype.str}:{self.block_size}:".encode())
+        h.update(np.ascontiguousarray(self._dist).tobytes())
+        return h.hexdigest()
+
+    def block_keys(self) -> Iterator[tuple[int, int]]:
+        return ((bi, bj) for bi in range(self.nb) for bj in range(self.nb))
+
+    def _slices(self, bi: int, bj: int) -> tuple[slice, slice]:
+        b = self.block_size
+        if not (0 <= bi < self.nb and 0 <= bj < self.nb):
+            raise ArtifactError(
+                self.path, f"block ({bi}, {bj}) outside the {self.nb}x{self.nb} grid"
+            )
+        return (
+            slice(bi * b, min(self.n, (bi + 1) * b)),
+            slice(bj * b, min(self.n, (bj + 1) * b)),
+        )
+
+    def block_nbytes(self, bi: int, bj: int) -> int:
+        rows, cols = _block_shape(self.n, self.block_size, bi, bj)
+        return rows * cols * self.dtype.itemsize
+
+    def load_block(self, bi: int, bj: int, *, mmap: bool = True, verify: bool = True) -> np.ndarray:
+        si, sj = self._slices(bi, bj)
+        view = self._dist[si, sj]
+        view.setflags(write=False)
+        return view
+
+    def dist(self) -> np.ndarray:
+        return np.array(self._dist, copy=True)
+
+    def load_graph(self) -> np.ndarray:
+        if self._graph is None:
+            raise ArtifactError(
+                self.path,
+                "in-memory artifact has no graph (serve with graph=w to "
+                "enable edge updates)",
+            )
+        return self._graph
+
+    def rewrite_block(self, bi: int, bj: int, data: np.ndarray) -> None:
+        si, sj = self._slices(bi, bj)
+        if data.shape != self._dist[si, sj].shape or data.dtype != self.dtype:
+            raise ArtifactError(
+                self.path,
+                f"rewrite of block ({bi}, {bj}) must be "
+                f"{self._dist[si, sj].shape} {self.dtype}, got {data.shape} {data.dtype}",
+            )
+        self._dist[si, sj] = data
+
+    def rewrite_graph(self, weights: np.ndarray) -> None:
+        if weights.shape != (self.n, self.n):
+            raise ArtifactError(
+                self.path, f"graph must be ({self.n}, {self.n}), got {weights.shape}"
+            )
+        self._graph = np.array(weights, copy=True)
+
+    def flush(self) -> None:
+        pass
+
+    def describe(self) -> str:
+        return (
+            f"in-memory artifact: n={self.n} dtype={self.dtype.name} "
+            f"block_size={self.block_size} grid={self.nb}x{self.nb} "
+            f"graph={'yes' if self.has_graph else 'no'}"
+        )
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def _solve_header_from(result) -> dict:
+    report = getattr(result, "report", None)
+    if report is None:
+        return {}
+    return {
+        "variant": report.variant,
+        "machine": report.machine,
+        "n_nodes": report.n_nodes,
+        "ranks": report.ranks,
+        "block_size": report.block_size,
+        "makespan": report.makespan,
+    }
+
+
+def save_artifact(
+    source: Any,
+    path: PathLike,
+    *,
+    block_size: Optional[int] = None,
+    graph: Optional[np.ndarray] = None,
+    certificate: Optional[dict] = None,
+    solve: Optional[dict] = None,
+    overwrite: bool = False,
+) -> Artifact:
+    """Persist a solve as a block artifact directory; returns the
+    loaded :class:`Artifact`.
+
+    ``source`` is an :class:`~repro.core.driver.ApspResult` (its
+    certificate and run provenance ride along automatically) or a bare
+    distance matrix.  ``graph`` optionally stores the weight matrix so
+    the artifact supports edge updates.  An existing *artifact*
+    directory is replaced only with ``overwrite=True``; any other
+    existing path is refused.
+    """
+    dist = getattr(source, "dist", source)
+    if dist is None:
+        raise ArtifactError(
+            path, "result holds no distance matrix (solve with collect=True)"
+        )
+    dist = np.asarray(dist)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ArtifactError(path, f"distance matrix must be square, got {dist.shape}")
+    if certificate is None:
+        certificate = getattr(source, "certificate", None)
+    if solve is None:
+        solve = _solve_header_from(source)
+    n = dist.shape[0]
+    b = int(block_size or default_artifact_block_size(n))
+    if b < 1:
+        raise ArtifactError(path, f"block_size must be >= 1, got {b}")
+    if graph is not None:
+        graph = np.asarray(graph)
+        if graph.shape != (n, n):
+            raise ArtifactError(
+                path, f"graph must match the distance matrix ({n}, {n}), got {graph.shape}"
+            )
+
+    target = Path(path)
+    if target.exists():
+        if not overwrite:
+            raise ArtifactError(path, "path exists (pass overwrite=True to replace)")
+        if not (target / MANIFEST_NAME).exists():
+            raise ArtifactError(
+                path, "refusing to overwrite: existing path is not an artifact"
+            )
+        import shutil
+
+        shutil.rmtree(target)
+    blocks_dir = target / BLOCKS_DIR
+    blocks_dir.mkdir(parents=True, exist_ok=True)
+
+    nb = _block_grid(n, b)
+    rows_table = []
+    for bi in range(nb):
+        for bj in range(nb):
+            tile = np.ascontiguousarray(
+                dist[bi * b : min(n, (bi + 1) * b), bj * b : min(n, (bj + 1) * b)]
+            )
+            payload = tile.tobytes()
+            digest = hashlib.sha256(payload).hexdigest()
+            block_path = blocks_dir / f"{digest}.blk"
+            if not block_path.exists():
+                _atomic_write_bytes(block_path, payload)
+            rows_table.append(
+                [bi, bj, digest, zlib.crc32(payload), tile.shape[0], tile.shape[1]]
+            )
+
+    if graph is not None:
+        np.savez_compressed(target / GRAPH_NAME, weights=graph)
+
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "n": n,
+        "dtype": dist.dtype.name,
+        "block_size": b,
+        "nb": nb,
+        "certificate": certificate,
+        "solve": solve or {},
+        "blocks": rows_table,
+    }
+    _atomic_write_bytes(
+        target / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True).encode()
+    )
+    return Artifact(target, manifest)
+
+
+def load_artifact(path: PathLike) -> Artifact:
+    """Open an artifact directory, validating its manifest (not its
+    blocks: those verify CRC lazily on first read)."""
+    target = Path(path)
+    manifest_path = target / MANIFEST_NAME
+    if not target.is_dir() or not manifest_path.exists():
+        raise ArtifactError(path, "not an artifact directory (no manifest.json)")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(path, f"unreadable manifest: {exc}") from None
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(path, f"not a {ARTIFACT_FORMAT} manifest")
+    if manifest.get("version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            path,
+            f"unsupported artifact version {manifest.get('version')!r} "
+            f"(this build reads version {ARTIFACT_VERSION})",
+        )
+    for key in ("n", "dtype", "block_size", "nb", "blocks"):
+        if key not in manifest:
+            raise ArtifactError(path, f"manifest is missing {key!r}")
+    try:
+        np.dtype(manifest["dtype"])
+    except TypeError:
+        raise ArtifactError(path, f"unknown dtype {manifest['dtype']!r}") from None
+    artifact = Artifact(target, manifest)
+    n, b, nb = artifact.n, artifact.block_size, artifact.nb
+    if nb != _block_grid(n, b):
+        raise ArtifactError(path, f"manifest nb={nb} inconsistent with n={n}, b={b}")
+    expected = {(bi, bj) for bi in range(nb) for bj in range(nb)}
+    have = set(artifact._blocks)
+    if have != expected:
+        missing = sorted(expected - have)[:4]
+        extra = sorted(have - expected)[:4]
+        raise ArtifactError(
+            path, f"block table incomplete (missing {missing}, unexpected {extra})"
+        )
+    for (bi, bj), entry in artifact._blocks.items():
+        if (entry["rows"], entry["cols"]) != _block_shape(n, b, bi, bj):
+            raise ArtifactError(
+                path,
+                f"block ({bi}, {bj}) shape {(entry['rows'], entry['cols'])} "
+                f"inconsistent with n={n}, b={b}",
+            )
+    return artifact

@@ -232,3 +232,82 @@ class TestExitCodes:
 
         assert _exit_code_for(FaultPlanError("x")) == 13
         assert _exit_code_for(InternalError(ValueError("boom"))) == 14
+        # The serving layer's failure classes (docs/SERVING.md).
+        from repro.errors import ArtifactError, QueryError
+
+        assert _exit_code_for(ArtifactError("p", "bad")) == 17
+        assert _exit_code_for(QueryError("x")) == 18
+
+
+class TestServeQueryCLI:
+    @pytest.fixture()
+    def artifact(self, tmp_path):
+        path = tmp_path / "art"
+        rc = main(
+            ["serve", "build", str(path), "--n", "32", "--block", "8",
+             "--artifact-block", "8", "--nodes", "2", "--ranks-per-node", "2",
+             "--density", "0.4"]
+        )
+        assert rc == 0
+        return path
+
+    def test_build_and_info(self, artifact, capsys):
+        assert main(["serve", "info", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "n=32" in out
+        assert "graph payload: yes" in out
+
+    def test_query_pairs_nearest_submatrix(self, artifact, capsys):
+        rc = main(
+            ["query", str(artifact), "--pair", "0,31", "--pair", "5,7",
+             "--nearest", "0,3", "--submatrix", "0,1:2,3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "d(0, 31) =" in out
+        assert "nearest to 0" in out
+        assert "cache:" in out
+
+    def test_query_metrics_out(self, artifact, tmp_path, capsys):
+        sink = tmp_path / "m.json"
+        rc = main(["query", str(artifact), "--pair", "1,2",
+                   "--metrics-out", str(sink)])
+        assert rc == 0
+        import json
+
+        payload = json.loads(sink.read_text())
+        # --pair goes through the batch path; counters are lazy, so the
+        # untouched point counter is simply absent.
+        assert "serve.queries.point" not in payload["metrics"]
+        assert payload["metrics"]["serve.queries.batch"]["value"] == 1
+        assert payload["serve"]["cache"]["misses"] == 1
+
+    def test_update_edges(self, artifact, capsys):
+        rc = main(["serve", "update", str(artifact), "--edge", "0,9,0.0001"])
+        assert rc == 0
+        assert "1 fast" in capsys.readouterr().out
+        rc = main(["query", str(artifact), "--pair", "0,9"])
+        assert rc == 0
+        assert "d(0, 9) = 0.0001" in capsys.readouterr().out
+
+    def test_missing_artifact_exits_17(self, tmp_path, capsys):
+        rc = main(["query", str(tmp_path / "nope"), "--pair", "0,1"])
+        assert rc == 17
+        assert "artifact" in capsys.readouterr().err
+
+    def test_bad_query_exits_18(self, artifact, capsys):
+        assert main(["query", str(artifact), "--pair", "0,999"]) == 18
+        assert main(["query", str(artifact), "--pair", "zero,one"]) == 18
+        assert main(["query", str(artifact), "--submatrix", "0,1"]) == 18
+        assert main(["query", str(artifact), "--submatrix", "0-2:3,4"]) == 18
+        assert main(["serve", "update", str(artifact), "--edge", "1,2"]) == 18
+
+    def test_corrupt_artifact_exits_17(self, artifact, capsys):
+        blk = sorted((artifact / "blocks").glob("*.blk"))[0]
+        raw = bytearray(blk.read_bytes())
+        raw[-1] ^= 0xFF
+        blk.write_bytes(bytes(raw))
+        rc = main(["query", str(artifact), "--submatrix",
+                   ",".join(map(str, range(32))) + ":" + ",".join(map(str, range(32)))])
+        assert rc == 17
+        assert "CRC32" in capsys.readouterr().err

@@ -1,0 +1,620 @@
+"""Tests for the serving layer: artifacts, cache, queries, updates.
+
+The oracle discipline throughout: every query answer is compared
+bit-exactly against the in-memory ``ApspResult.dist`` (or a rank-1
+patched copy of it) that produced the artifact.  Floating-point
+equality here is deliberate - the serving layer stores and returns the
+solver's bytes, it never re-derives them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ArtifactError, ConfigurationError, NegativeCycleError, QueryError
+from repro.graphs import erdos_renyi, uniform_random_dense
+from repro.semiring.backends import available_backends
+from repro.serve import (
+    Artifact,
+    BlockCache,
+    MemoryArtifact,
+    ServeConfig,
+    load_artifact,
+    save_artifact,
+)
+
+CLUSTER = dict(n_nodes=2, ranks_per_node=2)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """One 40-vertex solve shared by the read-only tests."""
+    w = erdos_renyi(40, 0.3, seed=3)
+    res = repro.solve(w, variant="async", block_size=8, **CLUSTER)
+    return w, res
+
+
+@pytest.fixture()
+def artifact_dir(solved, tmp_path):
+    w, res = solved
+    path = tmp_path / "art"
+    res.save(path, block_size=16, graph=w)
+    return path
+
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("block_size", [1, 7, 16, 40, 64])
+    def test_roundtrip_bit_exact(self, solved, tmp_path, block_size):
+        w, res = solved
+        path = tmp_path / f"b{block_size}"
+        res.save(path, block_size=block_size, graph=w)
+        art = load_artifact(path)
+        np.testing.assert_array_equal(art.dist(), res.dist)
+        assert art.dist().dtype == res.dist.dtype
+        np.testing.assert_array_equal(art.load_graph(), w)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_roundtrip_dtypes(self, tmp_path, dtype):
+        dist = uniform_random_dense(20, seed=5).astype(dtype)
+        path = tmp_path / "art"
+        save_artifact(dist, path, block_size=6)
+        art = load_artifact(path)
+        assert art.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(art.dist(), dist)
+
+    def test_result_save_returns_artifact(self, solved, tmp_path):
+        w, res = solved
+        art = res.save(tmp_path / "a", graph=w)
+        assert isinstance(art, Artifact)
+        assert art.n == 40
+        assert art.certificate == res.certificate
+        assert art.solve_header["variant"] == "async"
+
+    def test_identical_tiles_are_deduplicated(self, tmp_path):
+        # A constant matrix: every off-diagonal tile has identical bytes.
+        dist = np.zeros((32, 32))
+        art = save_artifact(dist, tmp_path / "a", block_size=8)
+        blocks = list((tmp_path / "a" / "blocks").glob("*.blk"))
+        assert len(blocks) == 1  # 16 logical tiles, one physical file
+        np.testing.assert_array_equal(art.dist(), dist)
+
+    def test_overwrite_refuses_non_artifact_dir(self, tmp_path):
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "data.txt").write_text("keep me")
+        with pytest.raises(ArtifactError):
+            save_artifact(np.zeros((4, 4)), target, overwrite=True)
+        assert (target / "data.txt").read_text() == "keep me"
+
+    def test_overwrite_replaces_existing_artifact(self, tmp_path):
+        a = np.zeros((4, 4))
+        b = np.ones((6, 6))
+        save_artifact(a, tmp_path / "a")
+        with pytest.raises(ArtifactError):
+            save_artifact(b, tmp_path / "a")  # refused without overwrite
+        save_artifact(b, tmp_path / "a", overwrite=True)
+        np.testing.assert_array_equal(load_artifact(tmp_path / "a").dist(), b)
+
+    def test_load_rejects_missing_and_malformed(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_artifact(tmp_path / "nope")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{not json")
+        with pytest.raises(ArtifactError):
+            load_artifact(bad)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        save_artifact(np.zeros((4, 4)), tmp_path / "a")
+        manifest = json.loads((tmp_path / "a" / "manifest.json").read_text())
+        manifest["version"] = 99
+        (tmp_path / "a" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(tmp_path / "a")
+
+
+class TestCorruption:
+    def test_corrupted_block_is_refused(self, artifact_dir):
+        blk = sorted((artifact_dir / "blocks").glob("*.blk"))[0]
+        raw = bytearray(blk.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        blk.write_bytes(bytes(raw))
+        art = load_artifact(artifact_dir)
+        with pytest.raises(ArtifactError, match="CRC32"):
+            art.dist()
+
+    def test_corruption_refused_through_server(self, artifact_dir):
+        blk = sorted((artifact_dir / "blocks").glob("*.blk"))[-1]
+        raw = bytearray(blk.read_bytes())
+        raw[0] ^= 0x01
+        blk.write_bytes(bytes(raw))
+        srv = repro.serve(artifact_dir)
+        with pytest.raises(ArtifactError):
+            srv.submatrix(range(srv.n), range(srv.n))
+
+    def test_missing_block_file_is_refused(self, artifact_dir):
+        blk = sorted((artifact_dir / "blocks").glob("*.blk"))[0]
+        blk.unlink()
+        art = load_artifact(artifact_dir)
+        with pytest.raises(ArtifactError):
+            art.dist()
+
+    def test_verification_can_be_disabled(self, artifact_dir, solved):
+        # verify_blocks=False serves whatever bytes are on disk.
+        _, res = solved
+        srv = repro.serve(artifact_dir, verify_blocks=False)
+        assert srv.distance(0, 39) == res.dist[0, 39]
+
+
+class TestBlockCache:
+    def test_hit_miss_accounting(self):
+        cache = BlockCache(1 << 20)
+        tile = np.zeros((4, 4))
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return tile
+
+        assert cache.get("a", loader) is tile
+        assert cache.get("a", loader) is tile
+        assert len(loads) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hit_rate"] == 0.5
+
+    def test_lru_eviction_order_and_bytes(self):
+        tile_bytes = np.zeros((8, 8)).nbytes  # 512
+        cache = BlockCache(tile_bytes * 2)
+        a, b, c = (np.zeros((8, 8)) for _ in range(3))
+        cache.get("a", lambda: a)
+        cache.get("b", lambda: b)
+        cache.get("a", lambda: a)  # touch: b is now least recent
+        cache.get("c", lambda: c)  # evicts b, not a
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+        assert cache.resident_bytes == tile_bytes * 2
+        cache.get("b", lambda: b)  # evicts a (LRU after the touch)
+        assert "a" not in cache
+        assert cache.evictions == 2
+
+    def test_oversize_pass_through(self):
+        cache = BlockCache(64)
+        big = np.zeros((64, 64))
+        out = cache.get("big", lambda: big)
+        assert out is big
+        assert len(cache) == 0
+        assert cache.stats()["oversize"] == 1
+        assert cache.resident_bytes == 0
+
+    def test_invalidate(self):
+        cache = BlockCache(1 << 20)
+        cache.get("a", lambda: np.zeros(8))
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.resident_bytes == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BlockCache(0)
+        with pytest.raises(ConfigurationError):
+            BlockCache(True)
+
+
+class TestQueries:
+    def test_point_queries_bit_exact(self, artifact_dir, solved):
+        _, res = solved
+        srv = repro.serve(artifact_dir)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            s, t = rng.integers(0, srv.n, size=2)
+            assert srv.distance(int(s), int(t)) == res.dist[s, t]
+
+    def test_batch_matches_dist(self, artifact_dir, solved):
+        _, res = solved
+        srv = repro.serve(artifact_dir)
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(0, srv.n, size=(200, 2))
+        np.testing.assert_array_equal(
+            srv.batch(pairs), res.dist[pairs[:, 0], pairs[:, 1]]
+        )
+
+    def test_submatrix_matches_dist(self, artifact_dir, solved):
+        _, res = solved
+        srv = repro.serve(artifact_dir)
+        rows, cols = [0, 3, 17, 39], [1, 16, 38]
+        np.testing.assert_array_equal(
+            srv.submatrix(rows, cols), res.dist[np.ix_(rows, cols)]
+        )
+        # Full-matrix extraction equals the solver's matrix exactly.
+        np.testing.assert_array_equal(
+            srv.submatrix(range(srv.n), range(srv.n)), res.dist
+        )
+
+    def test_k_nearest_matches_dist(self, artifact_dir, solved):
+        _, res = solved
+        srv = repro.serve(artifact_dir)
+        got = srv.k_nearest(5, 10)
+        vals = res.dist[5].copy()
+        vals[5] = np.inf
+        want = np.lexsort((np.arange(len(vals)), vals))[:10]
+        assert [v for v, _ in got] == [int(v) for v in want if np.isfinite(vals[v])][:len(got)]
+        for v, d in got:
+            assert d == res.dist[5, v]
+
+    def test_k_nearest_ties_break_by_vertex_id(self):
+        dist = np.full((6, 6), 2.0)
+        np.fill_diagonal(dist, 0.0)
+        dist[0, 4] = dist[0, 2] = 1.0  # tie at 1.0; then a 3-way tie at 2.0
+        srv = repro.serve(dist)
+        assert srv.k_nearest(0, 4) == [(2, 1.0), (4, 1.0), (1, 2.0), (3, 2.0)]
+
+    def test_k_nearest_stops_at_unreachable(self):
+        dist = np.array(
+            [[0.0, 1.0, np.inf], [np.inf, 0.0, np.inf], [np.inf, np.inf, 0.0]]
+        )
+        srv = repro.serve(dist)
+        assert srv.k_nearest(0, 5) == [(1, 1.0)]
+        assert srv.k_nearest(2, 5) == []
+
+    def test_query_errors(self, artifact_dir):
+        srv = repro.serve(artifact_dir)
+        with pytest.raises(QueryError):
+            srv.distance(0, srv.n)
+        with pytest.raises(QueryError):
+            srv.distance(-1, 0)
+        with pytest.raises(QueryError):
+            srv.distance(0.5, 1)
+        with pytest.raises(QueryError):
+            srv.batch(np.zeros((0, 2)))
+        with pytest.raises(QueryError):
+            srv.batch([[0, 1, 2]])
+        with pytest.raises(QueryError):
+            srv.k_nearest(0, 0)
+        with pytest.raises(QueryError):
+            srv.submatrix([], [0])
+
+    def test_cache_counters_through_server(self, artifact_dir):
+        srv = repro.serve(artifact_dir)
+        srv.distance(0, 0)
+        srv.distance(1, 1)  # same 16x16 tile
+        stats = srv.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["resident_blocks"] == 1
+
+    def test_tiny_cache_still_answers_correctly(self, artifact_dir, solved):
+        # A cache that can hold a single tile must thrash, not corrupt.
+        _, res = solved
+        tile_bytes = 16 * 16 * 8
+        srv = repro.serve(artifact_dir, cache_bytes=tile_bytes)
+        np.testing.assert_array_equal(
+            srv.submatrix(range(srv.n), range(srv.n)), res.dist
+        )
+        assert srv.cache_stats()["evictions"] > 0
+        assert srv.cache_stats()["resident_bytes"] <= tile_bytes
+
+
+class TestAsyncBatch:
+    def test_chunked_progress_and_result(self, artifact_dir, solved):
+        _, res = solved
+        srv = repro.serve(artifact_dir, batch_chunk=3)
+        pairs = [(i, (i * 7) % srv.n) for i in range(10)]
+        handle = srv.submit_batch(pairs)
+        assert handle.status == "pending"
+        assert len(handle) == 10
+        handle.poll()
+        assert handle.answered == 3
+        assert handle.status == "running"
+        assert handle.wait() == "done"
+        np.testing.assert_array_equal(
+            handle.result(), [res.dist[s, t] for s, t in pairs]
+        )
+
+    def test_result_drives_to_completion(self, artifact_dir, solved):
+        _, res = solved
+        srv = repro.serve(artifact_dir)
+        handle = srv.submit_batch([(0, 1)])
+        np.testing.assert_array_equal(handle.result(), [res.dist[0, 1]])
+        assert handle.done
+
+    def test_invalid_pairs_fail_at_submit(self, artifact_dir):
+        srv = repro.serve(artifact_dir)
+        with pytest.raises(QueryError):
+            srv.submit_batch([(0, srv.n)])
+
+    def test_handle_is_awaitable(self, artifact_dir, solved):
+        import asyncio
+
+        _, res = solved
+        srv = repro.serve(artifact_dir)
+
+        async def drive():
+            return await srv.submit_batch([(2, 3), (4, 5)])
+
+        out = asyncio.run(drive())
+        np.testing.assert_array_equal(out, res.dist[[2, 4], [3, 5]])
+
+
+class TestBackendsPinned:
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_point_queries_bit_identical_per_backend(self, tmp_path, backend):
+        """Serving answers must be the solver's bytes for every kernel
+        backend, not just the reference one."""
+        w = erdos_renyi(24, 0.4, seed=9)
+        res = repro.solve(w, variant="async", block_size=8,
+                          kernel_backend=backend, **CLUSTER)
+        path = tmp_path / backend
+        res.save(path, block_size=8, graph=w)
+        srv = repro.serve(path)
+        for s in range(0, 24, 5):
+            for t in range(0, 24, 7):
+                assert srv.distance(s, t) == res.dist[s, t]
+        np.testing.assert_array_equal(
+            srv.submatrix(range(24), range(24)), res.dist
+        )
+
+
+class TestMemoryServing:
+    def test_serve_result_directly(self, solved):
+        _, res = solved
+        srv = repro.serve(res)
+        assert srv.distance(0, 1) == res.dist[0, 1]
+        assert srv.certificate == res.certificate
+
+    def test_serve_bare_matrix(self):
+        dist = uniform_random_dense(12, seed=2)
+        srv = repro.serve(dist, block_size=5)
+        np.testing.assert_array_equal(
+            srv.submatrix(range(12), range(12)), dist
+        )
+
+    def test_memory_artifact_updates(self):
+        w = erdos_renyi(16, 0.5, seed=4)
+        base = repro.serve(MemoryArtifact(
+            np.array(repro.solve(w, block_size=4).dist), graph=w))
+        assert base.update_edge(0, 9, 1e-4) is True
+        assert base.distance(0, 9) == pytest.approx(1e-4)
+
+    def test_serve_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            repro.serve(object())
+
+    def test_closed_server_refuses_queries(self, solved):
+        _, res = solved
+        with repro.serve(res) as srv:
+            srv.distance(0, 1)
+        with pytest.raises(ConfigurationError):
+            srv.distance(0, 1)
+
+
+class TestIncremental:
+    def _served(self, tmp_path, n=30, seed=6):
+        w = erdos_renyi(n, 0.3, seed=seed)
+        res = repro.solve(w, variant="async", block_size=8, **CLUSTER)
+        path = tmp_path / "art"
+        res.save(path, block_size=8, graph=w)
+        return w, res, repro.serve(path), path
+
+    def test_decrease_patches_only_dirty_tiles(self, tmp_path):
+        w, res, srv, path = self._served(tmp_path)
+        assert srv.update_edge(0, 17, 1e-3) is True
+        base = res.dist
+        expected = np.minimum(base, base[:, 0, None] + (1e-3 + base[None, 17, :]))
+        np.testing.assert_array_equal(
+            repro.serve(path).submatrix(range(30), range(30)), expected
+        )
+        stats = srv.stats()["incremental"]
+        assert stats["fast_updates"] == 1
+        assert stats["recomputes"] == 0
+        assert 0 < stats["dirty_blocks"] <= 16
+
+    def test_noop_increase_is_fast(self, tmp_path):
+        w, res, srv, path = self._served(tmp_path)
+        # Raising an absent edge's weight can't carry any shortest path.
+        absent = np.argwhere(np.isinf(w))[0]
+        u, v = int(absent[0]), int(absent[1])
+        assert srv.update_edge(u, v, 1e6) is True
+        np.testing.assert_array_equal(
+            repro.serve(path).submatrix(range(30), range(30)), res.dist
+        )
+
+    def test_invalidating_increase_reschedules_solve(self, tmp_path):
+        w, res, srv, path = self._served(tmp_path)
+        # Find an edge that carries some shortest path: cheapest real edge.
+        finite = np.isfinite(w) & ~np.eye(len(w), dtype=bool)
+        u, v = map(int, np.argwhere(finite)[np.argmin(w[finite])])
+        assert srv.update_edge(u, v, 1e5) is False
+        srv.close()
+        w2 = w.copy()
+        w2[u, v] = 1e5
+        ref = repro.solve(w2, variant="async", block_size=8, **CLUSTER).dist
+        np.testing.assert_array_equal(
+            repro.serve(path).submatrix(range(30), range(30)), ref
+        )
+        assert srv.stats()["incremental"]["recomputes"] == 1
+
+    def test_remove_and_reinsert(self, tmp_path):
+        w, res, srv, path = self._served(tmp_path)
+        finite = np.isfinite(w) & ~np.eye(len(w), dtype=bool)
+        u, v = map(int, np.argwhere(finite)[np.argmin(w[finite])])
+        c = float(w[u, v])
+        srv.remove_edge(u, v)          # carried shortest paths: re-solve
+        srv.insert_edge(u, v, c)       # comes back via the rank-1 patch
+        srv.close()
+        # Bit-exact oracle: the rank-1 formula over the *same* baseline
+        # the patcher saw (the post-removal re-solve).
+        w_cut = w.copy()
+        w_cut[u, v] = np.inf
+        base = repro.solve(w_cut, variant="async", block_size=8, **CLUSTER).dist
+        expected = np.minimum(base, base[:, u, None] + (c + base[None, v, :]))
+        got = repro.serve(path).submatrix(range(30), range(30))
+        np.testing.assert_array_equal(got, expected)
+        # ...and ULP-close to a from-scratch solve of the restored graph.
+        ref = repro.solve(w, variant="async", block_size=8, **CLUSTER).dist
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_batch_update_coalesces_recomputes(self, tmp_path):
+        w, res, srv, path = self._served(tmp_path)
+        finite = np.isfinite(w) & ~np.eye(len(w), dtype=bool)
+        edges = np.argwhere(finite)[np.argsort(w[finite])[:3]]
+        updates = [(int(u), int(v), float(w[u, v]) * 100) for u, v in edges]
+        updates.append((0, 17, 1e-3))  # one decrease rides along
+        srv.batch_update(updates)
+        assert srv.stats()["incremental"]["recomputes"] <= 1
+        srv.close()
+        w2 = w.copy()
+        for u, v, c in updates:
+            w2[u, v] = c
+        ref = repro.solve(w2, variant="async", block_size=8, **CLUSTER).dist
+        np.testing.assert_array_equal(
+            repro.serve(path).submatrix(range(30), range(30)), ref
+        )
+
+    def test_negative_cycle_refused(self, tmp_path):
+        w, res, srv, path = self._served(tmp_path)
+        with pytest.raises(NegativeCycleError):
+            srv.update_edge(3, 3, -1.0)
+        with pytest.raises(NegativeCycleError):
+            srv.update_edge(0, 17, -1e6)
+
+    def test_update_requires_graph_payload(self, solved, tmp_path):
+        w, res = solved
+        path = tmp_path / "nograph"
+        res.save(path)  # no graph payload
+        srv = repro.serve(path)
+        with pytest.raises(ArtifactError):
+            srv.update_edge(0, 1, 0.5)
+
+    def test_bad_weights_refused(self, tmp_path):
+        _, _, srv, _ = self._served(tmp_path)
+        with pytest.raises(QueryError):
+            srv.update_edge(0, 1, float("nan"))
+        with pytest.raises(QueryError):
+            srv.update_edge(0, 1, float("-inf"))
+
+
+class TestServeConfig:
+    def test_explicit_beats_env(self):
+        cfg = ServeConfig.from_env(
+            {"REPRO_SERVE_CACHE_BYTES": "1024"}, cache_bytes=2048
+        )
+        assert cfg.effective_cache_bytes == 2048
+
+    def test_env_beats_default(self):
+        cfg = ServeConfig.from_env({"REPRO_SERVE_CACHE_BYTES": "1024"})
+        assert cfg.cache_bytes == 1024
+
+    def test_default_when_unset(self):
+        from repro.serve import DEFAULT_CACHE_BYTES
+
+        cfg = ServeConfig.from_env({})
+        assert cfg.cache_bytes is None
+        assert cfg.effective_cache_bytes == DEFAULT_CACHE_BYTES
+
+    def test_backend_env_precedence(self):
+        cfg = ServeConfig.from_env(
+            {"REPRO_SRGEMM_BACKEND": "tiled"}, kernel_backend="reference"
+        )
+        assert cfg.kernel_backend == "reference"
+        assert ServeConfig.from_env(
+            {"REPRO_SRGEMM_BACKEND": "tiled"}
+        ).kernel_backend == "tiled"
+
+    def test_bad_env_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig.from_env({"REPRO_SERVE_CACHE_BYTES": "lots"})
+        with pytest.raises(ConfigurationError):
+            ServeConfig.from_env({"REPRO_SERVE_CACHE_BYTES": "-5"})
+
+    def test_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(cache_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(cache_bytes=True)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(batch_chunk=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig().replace(nonsense=1)
+
+    def test_frozen(self):
+        import dataclasses
+
+        cfg = ServeConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.cache_bytes = 7
+
+
+class TestObservability:
+    def test_metrics_catalog_and_sink(self, artifact_dir, tmp_path):
+        out = tmp_path / "metrics.json"
+        cfg = ServeConfig(obs=repro.ObsSinks(metrics_out=str(out)))
+        with repro.serve(artifact_dir, cfg) as srv:
+            srv.distance(0, 1)
+            srv.distance(0, 2)
+            srv.batch([(0, 1), (2, 3)])
+            srv.k_nearest(0, 3)
+        payload = json.loads(out.read_text())
+        flat = {name: m["value"] for name, m in payload["metrics"].items()}
+        assert flat["serve.queries.point"] == 2
+        assert flat["serve.queries.batch"] == 1
+        assert flat["serve.queries.batch_pairs"] == 2
+        assert flat["serve.queries.k_nearest"] == 1
+        assert flat["serve.cache.hits"] + flat["serve.cache.misses"] >= 4
+        assert payload["serve"]["cache"]["hits"] >= 1
+
+    def test_incremental_metrics(self, tmp_path):
+        w = erdos_renyi(16, 0.4, seed=8)
+        res = repro.solve(w, block_size=4)
+        path = tmp_path / "a"
+        res.save(path, block_size=4, graph=w)
+        cfg = ServeConfig(obs=repro.ObsSinks(metrics=True))
+        srv = repro.serve(path, cfg)
+        srv.update_edge(0, 9, 1e-4)
+        flat = srv.metrics.flat()
+        assert flat["serve.incremental.fast_updates"] == 1
+        assert flat["serve.incremental.dirty_blocks"] >= 1
+
+    def test_no_metrics_by_default(self, artifact_dir):
+        srv = repro.serve(artifact_dir)
+        assert srv.metrics is None
+
+
+class TestIncrementalExtension:
+    """The in-memory IncrementalApsp now honors dtype/backend/metrics."""
+
+    def test_float32_preserved(self):
+        from repro.extensions import IncrementalApsp
+
+        w = erdos_renyi(12, 0.5, seed=1).astype(np.float32)
+        inc = IncrementalApsp(w, block_size=4)
+        assert inc.dist.dtype == np.float32
+        assert inc.weights.dtype == np.float32
+
+    def test_backend_is_honored(self):
+        from repro.extensions import IncrementalApsp
+
+        w = erdos_renyi(12, 0.5, seed=1)
+        ref = IncrementalApsp(w, block_size=4, backend="reference")
+        for name in sorted(available_backends()):
+            other = IncrementalApsp(w, block_size=4, backend=name)
+            if "f32" in name:  # reduced-precision backend, by design
+                np.testing.assert_allclose(other.dist, ref.dist, rtol=1e-5)
+            else:
+                np.testing.assert_array_equal(other.dist, ref.dist)
+            other.update_edge(0, 5, 100.0)  # exercise the recompute path
+
+    def test_metrics_counters(self):
+        from repro.extensions import IncrementalApsp
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        w = erdos_renyi(12, 0.5, seed=1)
+        inc = IncrementalApsp(w, block_size=4, metrics=registry)
+        inc.update_edge(0, 5, 1e-4)
+        assert registry.flat()["serve.incremental.fast_updates"] == 1
